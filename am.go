@@ -1,0 +1,264 @@
+// Package assignmentmotion is a complete, from-scratch Go implementation
+// of "The Power of Assignment Motion" (Jens Knoop, Oliver Rüthing,
+// Bernhard Steffen; PLDI 1995): the uniform algorithm for eliminating
+// partially redundant expressions AND assignments, capturing all
+// second-order effects between expression motion (EM) and assignment
+// motion (AM).
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - Parse / ParseFile read the ".fg" flow-graph language (see README).
+//   - Optimize runs the paper's three-phase global algorithm:
+//     initialization, exhaustive assignment motion, final flush.
+//   - Apply composes individual passes (EM-only, AM-only, restricted AM,
+//     copy propagation, ...) for comparisons.
+//   - Run interprets a program and reports the dynamic cost measures the
+//     paper's optimality theorems are stated in.
+//   - Format / Dot render programs as source text or Graphviz.
+//
+// A minimal session:
+//
+//	g, err := assignmentmotion.Parse(src)
+//	...
+//	res := assignmentmotion.Optimize(g)
+//	fmt.Println(assignmentmotion.Format(g), res.AM.Iterations)
+package assignmentmotion
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/cfggen"
+	"assignmentmotion/internal/copyprop"
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/dce"
+	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/lcm"
+	"assignmentmotion/internal/metrics"
+	"assignmentmotion/internal/mr"
+	"assignmentmotion/internal/parse"
+	"assignmentmotion/internal/pde"
+	"assignmentmotion/internal/printer"
+	"assignmentmotion/internal/verify"
+)
+
+// Core IR types, re-exported for downstream use.
+type (
+	// Graph is a control flow graph G = (N, E, s, e) of basic blocks.
+	Graph = ir.Graph
+	// Block is a basic block of instructions.
+	Block = ir.Block
+	// Instr is a single instruction (skip, assignment, out, condition).
+	Instr = ir.Instr
+	// Var is a program variable.
+	Var = ir.Var
+	// Term is a 3-address right-hand side (at most one operator).
+	Term = ir.Term
+	// Operand is a variable or integer constant.
+	Operand = ir.Operand
+	// AssignPattern is an assignment pattern v := t.
+	AssignPattern = ir.AssignPattern
+	// Builder constructs graphs programmatically.
+	Builder = ir.Builder
+)
+
+// NewBuilder returns a programmatic graph builder.
+func NewBuilder(name string) *Builder { return ir.NewBuilder(name) }
+
+// Parse reads a single graph in .fg syntax.
+func Parse(src string) (*Graph, error) { return parse.Parse(src) }
+
+// ParseFile reads a graph from the named .fg file.
+func ParseFile(path string) (*Graph, error) { return parse.ParseFile(path) }
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *Graph { return parse.MustParse(src) }
+
+// ParseNested reads a graph whose expressions may be arbitrarily nested
+// (full precedence, parentheses) and canonically decomposes them into
+// 3-address form along the inductive structure of the terms — the §6
+// front-end transformation of Figure 18.
+func ParseNested(src string) (*Graph, error) { return parse.ParseNested(src) }
+
+// ParseProgram reads the structured mini-language (prog/if/else/while/do/
+// break/continue with nested expressions) and desugars it into a flow
+// graph ready for optimization. See the README for the grammar.
+func ParseProgram(src string) (*Graph, error) { return parse.ParseProgram(src) }
+
+// Format renders g in .fg syntax (round-trippable through Parse).
+func Format(g *Graph) string { return printer.String(g) }
+
+// Dot renders g as a Graphviz digraph.
+func Dot(g *Graph) string { return printer.Dot(g) }
+
+// Result reports the per-phase statistics of one Optimize run.
+type Result = core.Result
+
+// Optimize applies the paper's global algorithm to g in place:
+// initialization (temporaries for every expression), the aht/rae
+// assignment motion fixpoint, and the final flush. The result is
+// expression-optimal in the universe of programs reachable by admissible
+// EM and AM transformations (Theorem 5.2) and relatively assignment- and
+// temporary-optimal (Theorems 5.3, 5.4).
+func Optimize(g *Graph) Result { return core.Optimize(g) }
+
+// Pass names an individual transformation for Apply.
+type Pass string
+
+// The available passes.
+const (
+	// PassGlobAlg is the full global algorithm (same as Optimize).
+	PassGlobAlg Pass = "globalg"
+	// PassInit is the initialization phase alone (Figure 12).
+	PassInit Pass = "init"
+	// PassAM is unrestricted assignment motion (aht/rae fixpoint).
+	PassAM Pass = "am"
+	// PassAMRestricted is Dhamdhere-style "immediately profitable" AM.
+	PassAMRestricted Pass = "am-restricted"
+	// PassEM is the expression-motion baseline (lazy code motion).
+	PassEM Pass = "em"
+	// PassMR is the original Morel/Renvoise 1979 partial redundancy
+	// elimination [19] — the historical baseline without edge placement.
+	PassMR Pass = "mr"
+	// PassEMCP alternates EM with copy propagation to a fixpoint (§6).
+	PassEMCP Pass = "emcp"
+	// PassFlush is the final flush alone (Table 3).
+	PassFlush Pass = "flush"
+	// PassCopyProp is global copy propagation.
+	PassCopyProp Pass = "copyprop"
+	// PassDCE is strong-liveness dead assignment elimination. It is NOT
+	// part of any paper pipeline (§3: not semantics-preserving in
+	// general) and exists for comparisons.
+	PassDCE Pass = "dce"
+	// PassPDE is partial dead code elimination (assignment sinking +
+	// dce), the [17] companion transformation whose delayability analysis
+	// this paper's hoistability analysis is the dual of. Like dce it is
+	// opt-in: removing dead assignments can remove run-time errors.
+	PassPDE Pass = "pde"
+	// PassSplit splits critical edges (done implicitly by all motion
+	// passes).
+	PassSplit Pass = "split"
+	// PassTidy bypasses empty synthetic blocks and merges straight-line
+	// chains for presentation; run it last (it may re-create critical
+	// edges, which the motion passes would simply re-split).
+	PassTidy Pass = "tidy"
+)
+
+// Passes lists all pass names accepted by Apply, in a stable order.
+func Passes() []Pass {
+	return []Pass{PassGlobAlg, PassInit, PassAM, PassAMRestricted, PassEM,
+		PassMR, PassEMCP, PassFlush, PassCopyProp, PassDCE, PassPDE, PassSplit, PassTidy}
+}
+
+// Apply runs the named passes on g, in order.
+func Apply(g *Graph, passes ...Pass) error {
+	for _, p := range passes {
+		switch p {
+		case PassGlobAlg:
+			core.Optimize(g)
+		case PassInit:
+			g.SplitCriticalEdges()
+			core.Initialize(g)
+		case PassAM:
+			am.Run(g)
+		case PassAMRestricted:
+			am.RunRestricted(g)
+		case PassEM:
+			lcm.Run(g)
+		case PassMR:
+			mr.Run(g)
+		case PassEMCP:
+			RunEMCP(g)
+		case PassFlush:
+			flush.Run(g)
+		case PassCopyProp:
+			copyprop.Run(g)
+		case PassDCE:
+			dce.Run(g)
+		case PassPDE:
+			pde.Run(g)
+		case PassSplit:
+			g.SplitCriticalEdges()
+		case PassTidy:
+			g.Tidy()
+		default:
+			return fmt.Errorf("assignmentmotion: unknown pass %q", p)
+		}
+	}
+	return nil
+}
+
+// RunEMCP alternates lazy code motion and copy propagation until the
+// program stabilizes — the classical workaround of §6 (Figure 20(a)).
+func RunEMCP(g *Graph) {
+	for i := 0; i < 16; i++ {
+		before := g.Encode()
+		lcm.Run(g)
+		copyprop.Run(g)
+		if g.Encode() == before {
+			return
+		}
+	}
+}
+
+// ExecResult is the outcome of interpreting a program.
+type ExecResult = interp.Result
+
+// ExecCounts aggregates the dynamic cost measures of one execution.
+type ExecCounts = interp.Counts
+
+// Run executes g on a copy of env (missing variables are 0) with the
+// given step budget (<= 0 selects a default) and reports the out-trace
+// and cost counters.
+func Run(g *Graph, env map[Var]int64, maxSteps int) ExecResult {
+	return interp.Run(g, env, maxSteps)
+}
+
+// ExecOptions tune the execution semantics (e.g. trapping division).
+type ExecOptions = interp.Options
+
+// RunWith is Run with explicit semantic options. With TrapOnDivZero the
+// footnote-3 distinction becomes observable: the motion passes preserve
+// run-time errors, dce/pde may remove them.
+func RunWith(g *Graph, env map[Var]int64, maxSteps int, opts ExecOptions) ExecResult {
+	return interp.RunWith(g, env, maxSteps, opts)
+}
+
+// Static summarizes a program's static shape.
+type Static = metrics.Static
+
+// Measure computes static program metrics (sizes, temporaries, lifetimes).
+func Measure(g *Graph) Static { return metrics.Measure(g) }
+
+// EquivalenceReport describes a randomized equivalence check.
+type EquivalenceReport = verify.Report
+
+// Equivalent runs a and b on `runs` random environments derived from seed
+// and compares their out-traces; it also aggregates both programs'
+// dynamic costs for optimality comparisons.
+func Equivalent(a, b *Graph, runs int, seed int64) EquivalenceReport {
+	return verify.Equivalent(a, b, runs, seed)
+}
+
+// GenConfig tunes random program generation.
+type GenConfig = cfggen.Config
+
+// RandomStructured generates a seeded random structured program
+// (sequences, diamonds, counter-guarded loops).
+func RandomStructured(seed int64, cfg GenConfig) *Graph {
+	return cfggen.Structured(seed, cfg)
+}
+
+// RandomUnstructured generates a seeded random unstructured program with
+// forward branches and fuel-guarded back edges (may contain irreducible
+// loops).
+func RandomUnstructured(seed int64, cfg GenConfig) *Graph {
+	return cfggen.Unstructured(seed, cfg)
+}
+
+// RandomEnvs builds deterministic random environments over vars.
+func RandomEnvs(vars []Var, count int, seed int64) []map[Var]int64 {
+	return metrics.RandomEnvs(vars, count, seed)
+}

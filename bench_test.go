@@ -1,0 +1,283 @@
+package assignmentmotion
+
+// The benchmark harness: one benchmark per experiment row in
+// EXPERIMENTS.md. Figures are benchmarked through the full global
+// algorithm; the scaling benchmarks regenerate the §4.5 complexity
+// measurements (near-linear behaviour of single analyses, flat iteration
+// counts on random programs, linear iteration growth on the adversarial
+// chain); the phase benchmarks separate initialization, assignment
+// motion, and the final flush.
+
+import (
+	"fmt"
+	"testing"
+
+	"assignmentmotion/internal/aht"
+	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/cfggen"
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/figures"
+	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/lcm"
+	"assignmentmotion/internal/metrics"
+	"assignmentmotion/internal/mr"
+	"assignmentmotion/internal/parse"
+	"assignmentmotion/internal/pde"
+	"assignmentmotion/internal/printer"
+	"assignmentmotion/internal/rae"
+)
+
+// BenchmarkFigure runs the global algorithm on every embedded paper
+// figure (rows F1–F20 of the experiment index).
+func BenchmarkFigure(b *testing.B) {
+	for _, name := range figures.Names() {
+		base := figures.Load(name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Optimize(base.Clone())
+			}
+		})
+	}
+}
+
+// BenchmarkPipeline compares the pipelines of the Experiment O table on
+// the running example.
+func BenchmarkPipeline(b *testing.B) {
+	base := figures.Load("running")
+	pipelines := map[string]func(*ir.Graph){
+		"em":            func(g *ir.Graph) { lcm.Run(g) },
+		"am":            func(g *ir.Graph) { am.Run(g) },
+		"am-restricted": func(g *ir.Graph) { am.RunRestricted(g) },
+		"globalg":       func(g *ir.Graph) { core.Optimize(g) },
+	}
+	for _, name := range []string{"em", "am", "am-restricted", "globalg"} {
+		run := pipelines[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run(base.Clone())
+			}
+		})
+	}
+}
+
+// BenchmarkScalingStructured is experiment C1a: the global algorithm on
+// random structured programs of growing size.
+func BenchmarkScalingStructured(b *testing.B) {
+	for _, size := range []int{10, 20, 40, 80} {
+		base := cfggen.Structured(1, cfggen.Config{Size: size})
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				g := base.Clone()
+				res := core.Optimize(g)
+				iters = res.AM.Iterations
+			}
+			b.ReportMetric(float64(base.InstrCount()), "instrs")
+			b.ReportMetric(float64(iters), "AMiters")
+		})
+	}
+}
+
+// BenchmarkScalingUnstructured is experiment C1b.
+func BenchmarkScalingUnstructured(b *testing.B) {
+	for _, size := range []int{10, 20, 40, 80} {
+		base := cfggen.Unstructured(1, cfggen.Config{Size: size})
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				g := base.Clone()
+				res := core.Optimize(g)
+				iters = res.AM.Iterations
+			}
+			b.ReportMetric(float64(base.InstrCount()), "instrs")
+			b.ReportMetric(float64(iters), "AMiters")
+		})
+	}
+}
+
+// BenchmarkAdversarialChain is experiment C1c: the redundant chain that
+// forces Θ(k) assignment motion iterations (the §4.5 worst case).
+func BenchmarkAdversarialChain(b *testing.B) {
+	for _, k := range []int{4, 8, 16, 32} {
+		base := cfggen.RedundantChain(k)
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				st := am.Run(base.Clone())
+				iters = st.Iterations
+			}
+			b.ReportMetric(float64(iters), "AMiters")
+		})
+	}
+}
+
+// BenchmarkPhases is experiment C2: the three phases of the global
+// algorithm, measured separately on a medium random program.
+func BenchmarkPhases(b *testing.B) {
+	base := cfggen.Structured(2, cfggen.Config{Size: 40})
+	base.SplitCriticalEdges()
+
+	b.Run("initialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Initialize(base.Clone())
+		}
+	})
+
+	initialized := base.Clone()
+	core.Initialize(initialized)
+	b.Run("am", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			am.Run(initialized.Clone())
+		}
+	})
+
+	moved := initialized.Clone()
+	am.Run(moved)
+	b.Run("flush", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flush.Run(moved.Clone())
+		}
+	})
+}
+
+// BenchmarkAnalyses measures the individual bit-vector analyses
+// (Tables 1–3) without their transformations.
+func BenchmarkAnalyses(b *testing.B) {
+	base := cfggen.Structured(3, cfggen.Config{Size: 40})
+	base.SplitCriticalEdges()
+	core.Initialize(base)
+
+	b.Run("rae", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rae.Analyze(base)
+		}
+	})
+	b.Run("aht", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			aht.Analyze(base)
+		}
+	})
+	b.Run("flush", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flush.Analyze(base)
+		}
+	})
+}
+
+// BenchmarkInterp measures interpreter throughput (the dynamic cost
+// oracle behind every optimality experiment).
+func BenchmarkInterp(b *testing.B) {
+	g := cfggen.Structured(4, cfggen.Config{Size: 30})
+	envs := metrics.RandomEnvs(g.SourceVars(), 8, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		interp.Run(g, envs[i%len(envs)], 0)
+	}
+}
+
+// BenchmarkParsePrint measures the textual front end round trip.
+func BenchmarkParsePrint(b *testing.B) {
+	src := figures.Source("running")
+	b.Run("parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := parse.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	g := parse.MustParse(src)
+	b.Run("print", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			printer.String(g)
+		}
+	})
+}
+
+// BenchmarkRAEGranularity is the ablation for Table 2's footnote:
+// instruction-level vs block-level redundancy elimination produce
+// identical programs; the solvers differ in node count.
+func BenchmarkRAEGranularity(b *testing.B) {
+	base := cfggen.Structured(5, cfggen.Config{Size: 60})
+	base.SplitCriticalEdges()
+	core.Initialize(base)
+	b.Run("instruction-level", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rae.Eliminate(base.Clone())
+		}
+	})
+	b.Run("block-level", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rae.EliminateBlocks(base.Clone())
+		}
+	})
+}
+
+// BenchmarkBaselines measures the additional baselines on the running
+// example: Morel/Renvoise PRE and partial dead code elimination.
+func BenchmarkBaselines(b *testing.B) {
+	base := figures.Load("running")
+	b.Run("mr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mr.Run(base.Clone())
+		}
+	})
+	b.Run("pde", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pde.Run(base.Clone())
+		}
+	})
+}
+
+// BenchmarkTidy measures the output cleanup pass on an optimized medium
+// program full of synthetic nodes.
+func BenchmarkTidy(b *testing.B) {
+	base := cfggen.Structured(6, cfggen.Config{Size: 40})
+	core.Optimize(base)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base.Clone().Tidy()
+	}
+}
+
+// BenchmarkMiniLang measures the structured front end end-to-end.
+func BenchmarkMiniLang(b *testing.B) {
+	src := `
+prog checksum {
+  sum := 0
+  i := 0
+  do {
+    term := (base + i) * (base + i)
+    sum := sum + term % 97
+    i := i + 1
+  } while i < 8
+  out(sum)
+}
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := parse.ParseProgram(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.Optimize(g)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresExperiment(t *testing.T) {
+	var sb strings.Builder
+	figuresExp(&sb, 4)
+	out := sb.String()
+	for _, want := range []string{"fig08", "running", "globalg", "am-restricted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in figures experiment output", want)
+		}
+	}
+	if strings.Contains(out, "SEMANTICS VIOLATION") {
+		t.Errorf("semantics violation reported:\n%s", out)
+	}
+}
+
+func TestRunningExperiment(t *testing.T) {
+	var sb strings.Builder
+	runningExp(&sb)
+	out := sb.String()
+	// The phase-by-phase trace must show the Figure 12 and Figure 15
+	// signatures.
+	for _, want := range []string{
+		"Figure 12", "Figure 14", "Figure 15",
+		"h2 := x + z",        // initialization
+		"if h2 > y + i then", // reconstructed condition
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in running experiment output", want)
+		}
+	}
+}
+
+func TestOptimalityExperimentSmall(t *testing.T) {
+	var sb strings.Builder
+	optimalityExp(&sb, 3, 4)
+	out := sb.String()
+	if !strings.Contains(out, "dominance violations within the Theorem 5.2 universe: none") {
+		t.Errorf("dominance violations (or missing line):\n%s", out)
+	}
+	if !strings.Contains(out, "semantics violations: 0") {
+		t.Errorf("semantics violations:\n%s", out)
+	}
+}
+
+func TestLifetimesExperiment(t *testing.T) {
+	var sb strings.Builder
+	lifetimesExp(&sb, 4)
+	out := sb.String()
+	for _, want := range []string{"Theorem 5.4", "busyLife", "lazyLife", "flush reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPathsExperiment(t *testing.T) {
+	var sb strings.Builder
+	pathsExp(&sb, 4)
+	out := sb.String()
+	if !strings.Contains(out, "all-paths") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("path dominance violated:\n%s", out)
+	}
+}
+
+func TestComplexityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("complexity sweep in -short mode")
+	}
+	var sb strings.Builder
+	complexityExp(&sb)
+	out := sb.String()
+	for _, want := range []string{"C1a", "C1c", "adversarial", "AMiters"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in complexity output", want)
+		}
+	}
+}
+
+func TestApplyPipelineUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown pipeline accepted")
+		}
+	}()
+	applyPipeline("nope", nil)
+}

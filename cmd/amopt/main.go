@@ -1,0 +1,249 @@
+// Command amopt parses a flow-graph program in .fg syntax, runs a pass
+// pipeline over it, and prints the transformed program (or its Graphviz
+// rendering, metrics, or an interpreted execution).
+//
+// Usage:
+//
+//	amopt [flags] file.fg        # or "-" for stdin
+//
+//	-pass globalg                comma-separated pipeline; see -list
+//	-dot                         emit Graphviz instead of .fg
+//	-metrics                     print static metrics before/after
+//	-run "a=1,b=2"               interpret with the given environment
+//	-steps N                     interpreter step budget
+//	-verify N                    check semantics preservation on N
+//	                             random inputs and report dynamic costs
+//	-figure name                 load a built-in paper figure instead of
+//	                             a file (see -list)
+//	-nested                      accept nested expressions (decomposed
+//	                             to 3-address form, §6)
+//	-prog                        input is the structured mini-language
+//	-random N [-size S]          use a random structured program
+//	-json                        machine-readable report
+//	-list                        list passes and built-in figures
+//
+// Examples:
+//
+//	amopt -figure running -pass globalg            # reproduce Figure 15
+//	amopt -figure running -pass init               # reproduce Figure 12
+//	amopt -figure fig08 -pass am-restricted        # Figure 8 (stuck)
+//	amopt -pass em,copyprop -verify 20 prog.fg
+//	amopt -prog -pass globalg,tidy -json main.prog
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"assignmentmotion"
+	"assignmentmotion/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "amopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("amopt", flag.ContinueOnError)
+	passFlag := fs.String("pass", "globalg", "comma-separated pass pipeline")
+	dotFlag := fs.Bool("dot", false, "emit Graphviz dot")
+	metricsFlag := fs.Bool("metrics", false, "print static metrics before and after")
+	runFlag := fs.String("run", "", "interpret with environment, e.g. \"a=1,b=2\"")
+	stepsFlag := fs.Int("steps", 0, "interpreter step budget (0 = default)")
+	verifyFlag := fs.Int("verify", 0, "verify semantics on N random inputs")
+	figureFlag := fs.String("figure", "", "load a built-in paper figure")
+	nestedFlag := fs.Bool("nested", false, "accept nested expressions and decompose to 3-address form (§6)")
+	progFlag := fs.Bool("prog", false, "input is the structured mini-language (prog/if/while/do)")
+	randomFlag := fs.Int64("random", -1, "use a random structured program with this seed instead of a file")
+	randomSize := fs.Int("size", 10, "size of the random program (with -random)")
+	jsonFlag := fs.Bool("json", false, "emit a JSON report (metrics, verification, run) instead of text annotations")
+	listFlag := fs.Bool("list", false, "list passes and figures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listFlag {
+		fmt.Fprintln(out, "passes:")
+		for _, p := range assignmentmotion.Passes() {
+			fmt.Fprintf(out, "  %s\n", p)
+		}
+		fmt.Fprintln(out, "figures:")
+		for _, f := range figures.Names() {
+			fmt.Fprintf(out, "  %s\n", f)
+		}
+		return nil
+	}
+
+	var g *assignmentmotion.Graph
+	var err error
+	if *randomFlag >= 0 {
+		g = assignmentmotion.RandomStructured(*randomFlag, assignmentmotion.GenConfig{Size: *randomSize})
+	} else {
+		g, err = load(fs, *figureFlag, *nestedFlag, *progFlag)
+		if err != nil {
+			return err
+		}
+	}
+	orig := g.Clone()
+
+	report := jsonReport{Graph: g.Name}
+	if *metricsFlag || *jsonFlag {
+		m := assignmentmotion.Measure(g)
+		report.Before = &m
+		if !*jsonFlag {
+			fmt.Fprintf(out, "# before: %s\n", m)
+		}
+	}
+
+	var passes []assignmentmotion.Pass
+	for _, name := range strings.Split(*passFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || name == "none" {
+			continue
+		}
+		passes = append(passes, assignmentmotion.Pass(name))
+	}
+	if err := assignmentmotion.Apply(g, passes...); err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("pipeline produced an invalid graph: %w", err)
+	}
+
+	if *metricsFlag || *jsonFlag {
+		m := assignmentmotion.Measure(g)
+		report.After = &m
+		if !*jsonFlag {
+			fmt.Fprintf(out, "# after:  %s\n", m)
+		}
+	}
+
+	if *verifyFlag > 0 {
+		rep := assignmentmotion.Equivalent(orig, g, *verifyFlag, 1)
+		if !rep.Equivalent {
+			return fmt.Errorf("semantics changed: %s", rep.Detail)
+		}
+		report.Verified = rep.Runs
+		report.ExprEvalsBefore, report.ExprEvalsAfter = rep.A.ExprEvals, rep.B.ExprEvals
+		report.AssignExecsBefore, report.AssignExecsAfter = rep.A.AssignExecs, rep.B.AssignExecs
+		if !*jsonFlag {
+			fmt.Fprintf(out, "# verified on %d inputs: expr %d->%d, assigns %d->%d\n",
+				rep.Runs, rep.A.ExprEvals, rep.B.ExprEvals, rep.A.AssignExecs, rep.B.AssignExecs)
+		}
+	}
+
+	switch {
+	case *jsonFlag:
+		// program included in the report below
+	case *dotFlag:
+		fmt.Fprint(out, assignmentmotion.Dot(g))
+	default:
+		fmt.Fprint(out, assignmentmotion.Format(g))
+	}
+
+	if *runFlag != "" {
+		env, err := parseEnv(*runFlag)
+		if err != nil {
+			return err
+		}
+		r := assignmentmotion.Run(g, env, *stepsFlag)
+		report.Trace = r.Trace
+		report.Run = &r.Counts
+		if !*jsonFlag {
+			fmt.Fprintf(out, "# trace: %v\n", r.Trace)
+			fmt.Fprintf(out, "# exprEvals=%d assignExecs=%d tempAssigns=%d steps=%d truncated=%v\n",
+				r.Counts.ExprEvals, r.Counts.AssignExecs, r.Counts.TempAssignExecs,
+				r.Counts.Steps, r.Truncated)
+		}
+	}
+	if *jsonFlag {
+		report.Program = assignmentmotion.Format(g)
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable output of -json.
+type jsonReport struct {
+	Graph             string                       `json:"graph"`
+	Before            *assignmentmotion.Static     `json:"before,omitempty"`
+	After             *assignmentmotion.Static     `json:"after,omitempty"`
+	Verified          int                          `json:"verifiedInputs,omitempty"`
+	ExprEvalsBefore   int                          `json:"exprEvalsBefore,omitempty"`
+	ExprEvalsAfter    int                          `json:"exprEvalsAfter,omitempty"`
+	AssignExecsBefore int                          `json:"assignExecsBefore,omitempty"`
+	AssignExecsAfter  int                          `json:"assignExecsAfter,omitempty"`
+	Trace             []int64                      `json:"trace,omitempty"`
+	Run               *assignmentmotion.ExecCounts `json:"run,omitempty"`
+	Program           string                       `json:"program"`
+}
+
+func load(fs *flag.FlagSet, figure string, nested, prog bool) (*assignmentmotion.Graph, error) {
+	if figure != "" {
+		for _, f := range figures.Names() {
+			if f == figure {
+				return figures.Load(figure), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown figure %q (see -list)", figure)
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one input file (or -figure)")
+	}
+	path := fs.Arg(0)
+	var src string
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		src = string(data)
+	} else {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		src = string(data)
+	}
+	switch {
+	case prog:
+		return assignmentmotion.ParseProgram(src)
+	case nested:
+		return assignmentmotion.ParseNested(src)
+	}
+	g, err := assignmentmotion.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return g, nil
+}
+
+func parseEnv(s string) (map[assignmentmotion.Var]int64, error) {
+	env := map[assignmentmotion.Var]int64{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad binding %q (want name=value)", kv)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %w", kv, err)
+		}
+		env[assignmentmotion.Var(strings.TrimSpace(parts[0]))] = v
+	}
+	return env, nil
+}

@@ -1,0 +1,77 @@
+// Pragmatics reproduces the Section 6 discussion (Figures 18–20): complex
+// expressions are decomposed into 3-address form, which blocks plain
+// expression motion; copy propagation is the classical workaround; and
+// the uniform EM&AM algorithm beats both by emptying the loop entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"assignmentmotion"
+)
+
+// Figure 18(a): x := a+b+c, loop invariant, written with a nested
+// expression that ParseNested decomposes into Figure 18(b).
+const nestedSrc = `
+graph fig18a {
+  entry n1
+  exit n3
+  block n1 {
+    x := a + b + c
+    goto n2
+  }
+  block n2 {
+    x := a + b + c
+    k := k + 1
+    if k < 5 then n2 else n3
+  }
+  block n3 { out(x, k) }
+}
+`
+
+func main() {
+	base, err := assignmentmotion.ParseNested(nestedSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Figure 18(b): canonical 3-address decomposition ===")
+	fmt.Print(assignmentmotion.Format(base))
+
+	run := func(name string, passes ...assignmentmotion.Pass) *assignmentmotion.Graph {
+		g := base.Clone()
+		if err := assignmentmotion.Apply(g, passes...); err != nil {
+			log.Fatal(err)
+		}
+		rep := assignmentmotion.Equivalent(base, g, 16, 7)
+		if !rep.Equivalent {
+			log.Fatalf("%s changed semantics: %s", name, rep.Detail)
+		}
+		return g
+	}
+
+	em := run("em", assignmentmotion.PassEM)
+	emcp := run("em+cp", assignmentmotion.PassEMCP)
+	glob := run("globalg", assignmentmotion.PassGlobAlg)
+
+	fmt.Println("\n=== Figure 20(b): the uniform algorithm empties the loop ===")
+	fmt.Print(assignmentmotion.Format(glob))
+
+	env := map[assignmentmotion.Var]int64{"a": 1, "b": 2, "c": 3}
+	fmt.Printf("\n%-22s %12s %14s\n", "pipeline", "expr evals", "assign execs")
+	for _, row := range []struct {
+		name string
+		g    *assignmentmotion.Graph
+	}{
+		{"original (18b)", base},
+		{"em (19b: stuck)", em},
+		{"em+cp (20a)", emcp},
+		{"uniform EM&AM (20b)", glob},
+	} {
+		r := assignmentmotion.Run(row.g, env, 0)
+		fmt.Printf("%-22s %12d %14d\n", row.name, r.Counts.ExprEvals, r.Counts.AssignExecs)
+	}
+	fmt.Println("\nEM is stuck because t := a+b makes t+c look loop-variant; EM+CP")
+	fmt.Println("recovers the expressions but leaves the copies in the loop; the")
+	fmt.Println("uniform algorithm moves the assignments themselves.")
+}

@@ -1,0 +1,3 @@
+module assignmentmotion
+
+go 1.22

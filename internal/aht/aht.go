@@ -1,0 +1,210 @@
+// Package aht implements assignment hoisting — procedure "aht" of the
+// paper's assignment motion phase (Table 1).
+//
+// For every assignment pattern α a backward bit-vector analysis over basic
+// blocks determines how far hoisting candidates of α (Figure 13) can move
+// against the control flow:
+//
+//	X-HOISTABLE_n = false                          if n = e
+//	              = ∏_{m ∈ succ(n)} N-HOISTABLE_m  otherwise
+//	N-HOISTABLE_n = LOC-HOISTABLE_n + X-HOISTABLE_n · ¬LOC-BLOCKED_n
+//
+// The greatest solution yields the insertion points:
+//
+//	N-INSERT_n = N-HOISTABLE*_n · (n = s  +  Σ_{m ∈ pred(n)} ¬X-HOISTABLE*_m)
+//	X-INSERT_n = X-HOISTABLE*_n · LOC-BLOCKED_n
+//
+// The insertion step places an instance of α at every insert point and
+// simultaneously removes all hoisting candidates. Patterns inserted at one
+// point are independent (paper, §4.3.2) and are placed in pattern-ID order.
+package aht
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/ir"
+)
+
+// Info holds the analysis result, indexed by block ID.
+type Info struct {
+	U *ir.PatternSet
+
+	LocHoistable []bitvec.Vec
+	LocBlocked   []bitvec.Vec
+	NHoistable   []bitvec.Vec
+	XHoistable   []bitvec.Vec
+	NInsert      []bitvec.Vec
+	XInsert      []bitvec.Vec
+
+	// candidates[block][patternID] is the instruction index of the
+	// block's hoisting candidate of that pattern.
+	candidates []map[int]int
+}
+
+// Analyze computes the hoistability analysis and insertion points for g.
+func Analyze(g *ir.Graph) *Info {
+	u := ir.AssignUniverse(g)
+	px := analysis.NewPatternIndex(u)
+	n, bits := len(g.Blocks), u.Len()
+	info := &Info{
+		U:            u,
+		LocHoistable: make([]bitvec.Vec, n),
+		LocBlocked:   make([]bitvec.Vec, n),
+		candidates:   make([]map[int]int, n),
+	}
+	for i, b := range g.Blocks {
+		info.LocHoistable[i], info.LocBlocked[i], info.candidates[i] = px.BlockLocals(b)
+	}
+
+	exit := int(g.Exit)
+	res := dataflow.Solve(dataflow.Problem{
+		N:    n,
+		Bits: bits,
+		Dir:  dataflow.Backward,
+		Meet: dataflow.All,
+		Preds: func(i int) []int {
+			return nodeIDs(g.Blocks[i].Preds)
+		},
+		Succs: func(i int) []int {
+			return nodeIDs(g.Blocks[i].Succs)
+		},
+		// For a Backward problem the solver's "in" is the fact at the
+		// block's exit (X-HOISTABLE) and "out" the fact at its entry
+		// (N-HOISTABLE).
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(info.LocBlocked[i])
+			out.Or(info.LocHoistable[i])
+		},
+		Boundary: func(i int, in bitvec.Vec) {
+			if i == exit {
+				in.ClearAll()
+			}
+		},
+	})
+	info.XHoistable = res.In
+	info.NHoistable = res.Out
+
+	info.NInsert = make([]bitvec.Vec, n)
+	info.XInsert = make([]bitvec.Vec, n)
+	for i, b := range g.Blocks {
+		// N-INSERT: hoistable at the entry and reaching the frontier —
+		// the start node, or some predecessor whose exit is not hoistable.
+		ni := info.NHoistable[i].Copy()
+		if b.ID != g.Entry {
+			frontier := bitvec.New(bits)
+			for _, p := range b.Preds {
+				notX := info.XHoistable[int(p)].Copy()
+				notX.Not()
+				frontier.Or(notX)
+			}
+			ni.And(frontier)
+		}
+		info.NInsert[i] = ni
+
+		xi := info.XHoistable[i].Copy()
+		xi.And(info.LocBlocked[i])
+		info.XInsert[i] = xi
+	}
+	return info
+}
+
+func nodeIDs(ids []ir.NodeID) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// Apply performs one hoisting step on g: it inserts instances at all
+// N-INSERT/X-INSERT points and removes every hoisting candidate. It
+// reports whether the program changed. The graph must have its critical
+// edges split: X-INSERT at a branch node is realized by inserting at the
+// entry of each successor, which edge splitting guarantees to have that
+// branch node as its only predecessor.
+func Apply(g *ir.Graph) bool {
+	return ApplyMasked(g, nil)
+}
+
+// ApplyMasked is Apply restricted to the assignment patterns accepted by
+// mask (nil accepts all). The per-pattern analyses are independent, so
+// restricting the transformation to a subset of patterns is sound; the
+// Dhamdhere-style "immediately profitable" baseline uses this to hoist one
+// pattern at a time.
+func ApplyMasked(g *ir.Graph, mask func(ir.AssignPattern) bool) bool {
+	before := g.Encode()
+	info := Analyze(g)
+	if mask != nil {
+		keep := bitvec.New(info.U.Len())
+		for id, p := range info.U.Patterns() {
+			if mask(p) {
+				keep.Set(id)
+			}
+		}
+		for i := range g.Blocks {
+			info.LocHoistable[i].And(keep)
+			info.NInsert[i].And(keep)
+			info.XInsert[i].And(keep)
+		}
+	}
+
+	// Collect per-block prepends. Exit-inserts of branch nodes become
+	// prepends of their successors, ordered before the successors' own
+	// entry-inserts (the edge point precedes the node entry).
+	prepend := make([][]ir.Instr, len(g.Blocks))
+	appendAtEnd := make([][]ir.Instr, len(g.Blocks))
+
+	for i, b := range g.Blocks {
+		if info.XInsert[i].Any() {
+			instrs := patternsToInstrs(info.U, info.XInsert[i])
+			if _, branch := b.Cond(); branch {
+				for _, s := range b.Succs {
+					if len(g.Block(s).Preds) != 1 {
+						panic(fmt.Sprintf("aht: X-INSERT at branch node %s with unsplit critical edge to %s",
+							b.Name, g.Block(s).Name))
+					}
+					prepend[int(s)] = append(prepend[int(s)], instrs...)
+				}
+			} else {
+				appendAtEnd[i] = append(appendAtEnd[i], instrs...)
+			}
+		}
+	}
+	for i := range g.Blocks {
+		if info.NInsert[i].Any() {
+			prepend[i] = append(prepend[i], patternsToInstrs(info.U, info.NInsert[i])...)
+		}
+	}
+
+	for i, b := range g.Blocks {
+		// Remove hoisting candidates (at most one per pattern per block).
+		drop := map[int]bool{}
+		info.LocHoistable[i].ForEach(func(id int) {
+			drop[info.candidates[i][id]] = true
+		})
+		next := make([]ir.Instr, 0, len(prepend[i])+len(b.Instrs)+len(appendAtEnd[i]))
+		next = append(next, prepend[i]...)
+		for k, in := range b.Instrs {
+			if !drop[k] {
+				next = append(next, in)
+			}
+		}
+		next = append(next, appendAtEnd[i]...)
+		b.Instrs = next
+	}
+	g.Normalize()
+	return g.Encode() != before
+}
+
+func patternsToInstrs(u *ir.PatternSet, v bitvec.Vec) []ir.Instr {
+	var out []ir.Instr
+	v.ForEach(func(id int) {
+		p := u.Pattern(id)
+		out = append(out, ir.NewAssign(p.LHS, p.RHS))
+	})
+	return out
+}

@@ -1,0 +1,157 @@
+// Package am drives the paper's assignment motion phase: the exhaustive
+// fixpoint of assignment hoisting (internal/aht) and redundant assignment
+// elimination (internal/rae). Iterating the two procedures until the
+// program stabilizes is what captures all second-order effects —
+// hoisting-elimination, hoisting-hoisting, elimination-hoisting, and
+// elimination-elimination (§4.3).
+//
+// The package also implements the restricted baseline of Dhamdhere [6]
+// discussed in §1.4, which only performs "immediately profitable"
+// hoistings — those that enable the elimination of an occurrence of the
+// hoisted pattern — and therefore misses second-order effects (Figure 8).
+package am
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/aht"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/rae" // block-level elimination: identical results (see rae.EliminateBlocks), smaller solver
+)
+
+// Stats reports what one AM-phase run did.
+type Stats struct {
+	// Iterations is the number of hoist+eliminate rounds until
+	// stabilization (at least 1; the final round observes no change).
+	Iterations int
+	// Eliminated is the total number of assignment occurrences removed
+	// by redundant assignment elimination.
+	Eliminated int
+	// SplitEdges is the number of critical edges split up front.
+	SplitEdges int
+}
+
+// Run applies the assignment motion phase to g in place: it splits
+// critical edges, then alternates aht and rae until the program is
+// invariant under both. The result is relatively assignment-optimal in the
+// universe G* (Lemma 4.2).
+func Run(g *ir.Graph) Stats {
+	var st Stats
+	st.SplitEdges = g.SplitCriticalEdges()
+	limit := iterationLimit(g)
+	for {
+		st.Iterations++
+		if st.Iterations > limit {
+			panic(fmt.Sprintf("am: no fixpoint after %d iterations (termination bug)", limit))
+		}
+		before := g.Encode()
+		hoisted := aht.Apply(g)
+		st.Eliminated += rae.EliminateBlocks(g)
+		if !hoisted && g.Encode() == before {
+			return st
+		}
+		if g.Encode() == before {
+			return st
+		}
+	}
+}
+
+// RunBounded is Run with the number of hoist+eliminate rounds capped at
+// maxIterations — the §7 mitigation for time-critical compilation
+// ("alternatively, one may limit the number of allowed hoisting and
+// elimination steps heuristically"). The result is still semantics
+// preserving and never worse than the input; it is simply not guaranteed
+// to be relatively optimal when the cap bites. A cap <= 0 means one round.
+func RunBounded(g *ir.Graph, maxIterations int) Stats {
+	if maxIterations <= 0 {
+		maxIterations = 1
+	}
+	var st Stats
+	st.SplitEdges = g.SplitCriticalEdges()
+	for st.Iterations < maxIterations {
+		st.Iterations++
+		before := g.Encode()
+		aht.Apply(g)
+		st.Eliminated += rae.EliminateBlocks(g)
+		if g.Encode() == before {
+			return st
+		}
+	}
+	return st
+}
+
+// RunEliminateFirst is Run with the two procedures applied in the
+// opposite order within each round (rae before aht). By the local
+// confluence of the rewrite relation (Lemma 3.6) both orders reach
+// cost-equivalent fixpoints; the verify package checks this empirically.
+func RunEliminateFirst(g *ir.Graph) Stats {
+	var st Stats
+	st.SplitEdges = g.SplitCriticalEdges()
+	limit := iterationLimit(g)
+	for {
+		st.Iterations++
+		if st.Iterations > limit {
+			panic(fmt.Sprintf("am: no fixpoint after %d iterations (termination bug)", limit))
+		}
+		before := g.Encode()
+		st.Eliminated += rae.EliminateBlocks(g)
+		aht.Apply(g)
+		if g.Encode() == before {
+			return st
+		}
+	}
+}
+
+// RunRestricted applies Dhamdhere-style restricted assignment motion: a
+// hoisting of pattern α is performed only when it is immediately
+// profitable, i.e. when hoisting α (followed by redundant assignment
+// elimination) strictly decreases the number of occurrences of α. Rounds
+// repeat until no profitable hoisting remains. Redundant assignment
+// elimination itself is always applied — the restriction is on hoisting
+// only, matching [6].
+func RunRestricted(g *ir.Graph) Stats {
+	var st Stats
+	st.SplitEdges = g.SplitCriticalEdges()
+	limit := iterationLimit(g)
+	for {
+		st.Iterations++
+		if st.Iterations > limit {
+			panic(fmt.Sprintf("am: restricted AM did not stabilize after %d iterations", limit))
+		}
+		before := g.Encode()
+		st.Eliminated += rae.EliminateBlocks(g)
+
+		u := ir.AssignUniverse(g)
+		for _, p := range u.Patterns() {
+			if profitable(g, p) {
+				aht.ApplyMasked(g, func(q ir.AssignPattern) bool { return q.Key() == p.Key() })
+				st.Eliminated += rae.EliminateBlocks(g)
+			}
+		}
+		if g.Encode() == before {
+			return st
+		}
+	}
+}
+
+// profitable reports whether hoisting pattern p followed by elimination
+// strictly decreases p's occurrence count — Dhamdhere's admission test.
+func profitable(g *ir.Graph, p ir.AssignPattern) bool {
+	trial := g.Clone()
+	before := trial.CountPattern(p)
+	if before == 0 {
+		return false
+	}
+	aht.ApplyMasked(trial, func(q ir.AssignPattern) bool { return q.Key() == p.Key() })
+	rae.EliminateBlocks(trial)
+	return trial.CountPattern(p) < before
+}
+
+// iterationLimit bounds the fixpoint loop. §4.5 shows the number of
+// procedure applications is at most quadratic in the program size; the
+// limit is well above that and only exists to turn a termination bug into
+// a loud failure instead of a hang.
+func iterationLimit(g *ir.Graph) int {
+	n := g.InstrCount() + len(g.Blocks)
+	return 4*n*n + 64
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+)
+
+// Value-taking wrappers: the production predicates take pointers for the
+// hot loops; the tests stay readable with values.
+func blocksPattern(in ir.Instr, p ir.AssignPattern) bool         { return BlocksPattern(&in, &p) }
+func assTransp(in ir.Instr, p ir.AssignPattern) bool             { return AssTransp(&in, &p) }
+func executed(in ir.Instr, p ir.AssignPattern) bool              { return Executed(&in, &p) }
+func usesTemp(in ir.Instr, h ir.Var) bool                        { return UsesTemp(&in, h) }
+func isInst(in ir.Instr, h ir.Var, e ir.Term) bool               { return IsInst(&in, h, e) }
+func blocksInit(in ir.Instr, h ir.Var, e ir.Term) bool           { return BlocksInit(&in, h, e) }
+func candidateIndex(b *ir.Block, p ir.AssignPattern) (int, bool) { return CandidateIndex(b, &p) }
+func locHoistable(b *ir.Block, p ir.AssignPattern) bool          { return LocHoistable(b, &p) }
+func locBlocked(b *ir.Block, p ir.AssignPattern) bool            { return LocBlocked(b, &p) }
+
+func pat(lhs string, rhs ir.Term) ir.AssignPattern {
+	return ir.AssignPattern{LHS: ir.Var(lhs), RHS: rhs}
+}
+
+func add(a, b string) ir.Term { return ir.BinTerm(ir.OpAdd, ir.VarOp(ir.Var(a)), ir.VarOp(ir.Var(b))) }
+
+func TestBlocksPattern(t *testing.T) {
+	p := pat("x", add("a", "b")) // x := a+b
+	cases := []struct {
+		in   ir.Instr
+		want bool
+		why  string
+	}{
+		{ir.NewAssign("a", ir.ConstTerm(1)), true, "modifies operand a"},
+		{ir.NewAssign("b", ir.ConstTerm(1)), true, "modifies operand b"},
+		{ir.NewAssign("x", ir.ConstTerm(1)), true, "modifies x"},
+		{ir.NewAssign("y", ir.VarTerm("x")), true, "uses x"},
+		{ir.NewAssign("x", add("a", "b")), true, "occurrence blocks itself"},
+		{ir.NewAssign("y", add("c", "d")), false, "unrelated assignment"},
+		{ir.NewOut(ir.VarOp("x")), true, "out uses x"},
+		{ir.NewOut(ir.VarOp("a")), false, "out reads operand only"},
+		{ir.NewCond(ir.OpLT, ir.VarTerm("x"), ir.ConstTerm(0)), true, "cond uses x"},
+		{ir.NewCond(ir.OpLT, ir.VarTerm("a"), ir.ConstTerm(0)), false, "cond reads operand only"},
+		{ir.Skip(), false, "skip blocks nothing"},
+	}
+	for _, c := range cases {
+		if got := blocksPattern(c.in, p); got != c.want {
+			t.Errorf("blocksPattern(%v): got %v, want %v (%s)", c.in, got, c.want, c.why)
+		}
+	}
+}
+
+func TestAssTranspAndExecuted(t *testing.T) {
+	p := pat("x", add("a", "b"))
+	occ := ir.NewAssign("x", add("a", "b"))
+	if !executed(occ, p) {
+		t.Error("occurrence not detected")
+	}
+	if assTransp(occ, p) {
+		t.Error("occurrence transparent for itself (modifies x)")
+	}
+	if !assTransp(ir.NewAssign("y", add("c", "d")), p) {
+		t.Error("unrelated assignment not transparent")
+	}
+	if assTransp(ir.NewAssign("a", ir.ConstTerm(0)), p) {
+		t.Error("operand modification transparent")
+	}
+	// out and cond never modify anything, hence always transparent.
+	if !assTransp(ir.NewOut(ir.VarOp("x")), p) {
+		t.Error("out not transparent")
+	}
+	if executed(ir.NewAssign("x", add("a", "c")), p) {
+		t.Error("different RHS detected as occurrence")
+	}
+}
+
+func TestCandidateIndexFigure13(t *testing.T) {
+	// Figure 13, left block:
+	//   x := d; y := a+b; x := 3*y; a := c; y := a+b
+	// The first y := a+b is the candidate (x := d does not block it);
+	// the second is blocked by a := c (and by the first occurrence).
+	b := &ir.Block{Instrs: []ir.Instr{
+		ir.NewAssign("x", ir.VarTerm("d")),
+		ir.NewAssign("y", add("a", "b")),
+		ir.NewAssign("x", ir.BinTerm(ir.OpMul, ir.ConstOp(3), ir.VarOp("y"))),
+		ir.NewAssign("a", ir.VarTerm("c")),
+		ir.NewAssign("y", add("a", "b")),
+	}}
+	p := pat("y", add("a", "b"))
+	idx, ok := candidateIndex(b, p)
+	if !ok || idx != 1 {
+		t.Errorf("candidate = %d %v, want 1 true", idx, ok)
+	}
+	if !locHoistable(b, p) {
+		t.Error("LocHoistable false")
+	}
+	if !locBlocked(b, p) {
+		t.Error("LocBlocked false (occurrence itself blocks)")
+	}
+
+	// Figure 13, right block: a := d kills a before the first y := a+b,
+	// so there is no candidate at all.
+	b2 := &ir.Block{Instrs: []ir.Instr{
+		ir.NewAssign("a", ir.VarTerm("d")),
+		ir.NewAssign("y", add("a", "b")),
+		ir.NewAssign("x", ir.BinTerm(ir.OpMul, ir.ConstOp(3), ir.VarOp("y"))),
+		ir.NewAssign("a", ir.VarTerm("c")),
+		ir.NewAssign("y", add("a", "b")),
+	}}
+	if _, ok := candidateIndex(b2, p); ok {
+		t.Error("found candidate despite a := d blockade")
+	}
+	if locHoistable(b2, p) {
+		t.Error("LocHoistable true despite blockade")
+	}
+}
+
+func TestTempPredicates(t *testing.T) {
+	expr := add("a", "b")
+	inst := ir.NewAssign("h1", expr)
+	if !isInst(inst, "h1", expr) {
+		t.Error("instance not detected")
+	}
+	if isInst(ir.NewAssign("h1", add("a", "c")), "h1", expr) {
+		t.Error("wrong-expression assignment detected as instance")
+	}
+	if !usesTemp(ir.NewAssign("x", ir.VarTerm("h1")), "h1") {
+		t.Error("use not detected")
+	}
+	if usesTemp(inst, "h1") {
+		t.Error("instance counted as use")
+	}
+	// BLOCKED: modifications of ε's operands block sinking of h := ε;
+	// the instance itself does not.
+	if !blocksInit(ir.NewAssign("a", ir.ConstTerm(0)), "h1", expr) {
+		t.Error("operand modification does not block init")
+	}
+	if blocksInit(inst, "h1", expr) {
+		t.Error("instance blocks its own initialization")
+	}
+	if !blocksInit(ir.NewAssign("h1", ir.VarTerm("z")), "h1", expr) {
+		t.Error("foreign write to h does not block")
+	}
+	if blocksInit(ir.NewOut(ir.VarOp("a")), "h1", expr) {
+		t.Error("out blocks init")
+	}
+}
+
+func TestProgFlattening(t *testing.T) {
+	g := parse.MustParse(`
+graph g {
+  entry a
+  exit c
+  block a {
+    x := 1
+    if x < 2 then b else c
+  }
+  block b {
+    y := 2
+    goto c
+  }
+  block c { out(x, y) }
+}
+`)
+	p := NewProg(g)
+	if p.Len() != 4 {
+		t.Fatalf("len = %d, want 4", p.Len())
+	}
+	if p.EntryIndex() != 0 {
+		t.Errorf("entry index = %d", p.EntryIndex())
+	}
+	// Instruction 1 (the cond) succeeds instruction 0 and precedes the
+	// first instructions of b and c.
+	if !reflect.DeepEqual(p.Succs(0), []int{1}) {
+		t.Errorf("succs(0) = %v", p.Succs(0))
+	}
+	bStart := p.BlockStart(g.BlockByName("b").ID)
+	cStart := p.BlockStart(g.BlockByName("c").ID)
+	if !reflect.DeepEqual(p.Succs(1), []int{bStart, cStart}) {
+		t.Errorf("succs(1) = %v, want [%d %d]", p.Succs(1), bStart, cStart)
+	}
+	if !reflect.DeepEqual(p.Preds(cStart), []int{1, bStart}) && !reflect.DeepEqual(p.Preds(cStart), []int{bStart, 1}) {
+		t.Errorf("preds(c) = %v", p.Preds(cStart))
+	}
+	if p.ExitIndex() != cStart {
+		t.Errorf("exit index = %d, want %d", p.ExitIndex(), cStart)
+	}
+	if got := p.Index(Point{Block: g.BlockByName("b").ID, Index: 0}); got != bStart {
+		t.Errorf("Index = %d", got)
+	}
+}

@@ -1,0 +1,84 @@
+// Package analysis provides the instruction-level program view and the
+// local predicates shared by the paper's data flow analyses: blocking,
+// transparency, occurrence, use, and hoisting-candidate predicates for
+// assignment patterns (Tables 1–3).
+package analysis
+
+import "assignmentmotion/internal/ir"
+
+// Point locates one instruction: block ID and index within the block.
+type Point struct {
+	Block ir.NodeID
+	Index int
+}
+
+// Prog is a flattened instruction-level view of a flow graph, giving every
+// instruction a dense global index with predecessor/successor relations.
+// The instruction-level analyses of Tables 2 and 3 run over this view.
+// Prog requires the Normalize invariant (no empty blocks); it is a snapshot
+// and must be rebuilt after the graph is transformed.
+type Prog struct {
+	G     *ir.Graph
+	Ins   []ir.Instr // global index -> instruction (copy)
+	Pts   []Point    // global index -> location
+	start []int      // block ID -> global index of its first instruction
+	preds [][]int
+	succs [][]int
+}
+
+// NewProg flattens g.
+func NewProg(g *ir.Graph) *Prog {
+	p := &Prog{G: g, start: make([]int, len(g.Blocks))}
+	for _, b := range g.Blocks {
+		if len(b.Instrs) == 0 {
+			panic("analysis: empty block (run Normalize)")
+		}
+		p.start[b.ID] = len(p.Ins)
+		for i, in := range b.Instrs {
+			p.Ins = append(p.Ins, in)
+			p.Pts = append(p.Pts, Point{Block: b.ID, Index: i})
+		}
+	}
+	n := len(p.Ins)
+	p.preds = make([][]int, n)
+	p.succs = make([][]int, n)
+	for _, b := range g.Blocks {
+		first := p.start[b.ID]
+		last := first + len(b.Instrs) - 1
+		for i := first; i < last; i++ {
+			p.succs[i] = append(p.succs[i], i+1)
+			p.preds[i+1] = append(p.preds[i+1], i)
+		}
+		for _, s := range b.Succs {
+			sFirst := p.start[s]
+			p.succs[last] = append(p.succs[last], sFirst)
+			p.preds[sFirst] = append(p.preds[sFirst], last)
+		}
+	}
+	return p
+}
+
+// Len returns the number of instructions.
+func (p *Prog) Len() int { return len(p.Ins) }
+
+// Preds returns the instruction-level predecessors of instruction i.
+func (p *Prog) Preds(i int) []int { return p.preds[i] }
+
+// Succs returns the instruction-level successors of instruction i.
+func (p *Prog) Succs(i int) []int { return p.succs[i] }
+
+// EntryIndex returns the global index of the first instruction of the
+// entry block — the paper's instruction "ι_s".
+func (p *Prog) EntryIndex() int { return p.start[p.G.Entry] }
+
+// ExitIndex returns the global index of the last instruction of the exit
+// block.
+func (p *Prog) ExitIndex() int {
+	return p.start[p.G.Exit] + len(p.G.Block(p.G.Exit).Instrs) - 1
+}
+
+// BlockStart returns the global index of the first instruction of block id.
+func (p *Prog) BlockStart(id ir.NodeID) int { return p.start[id] }
+
+// Index returns the global index of the instruction at pt.
+func (p *Prog) Index(pt Point) int { return p.start[pt.Block] + pt.Index }

@@ -1,0 +1,229 @@
+// Package bitvec provides dense bit vectors sized to a fixed universe.
+//
+// All dataflow analyses in this module are bit-vector problems over the
+// assignment- or expression-pattern universe of a flow graph (cf. Tables 1–3
+// of the paper). Vector length is fixed at creation; operations panic on
+// length mismatch, which in this code base always indicates a programming
+// error (mixing vectors from different pattern universes), never bad input.
+package bitvec
+
+import (
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vec is a fixed-length bit vector. The zero value is an empty vector of
+// length 0; use New for a sized vector.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector with n bits.
+func New(n int) Vec {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// NewFull returns a vector with all n bits set.
+func NewFull(n int) Vec {
+	v := New(n)
+	v.SetAll()
+	return v
+}
+
+// Len reports the number of bits in v.
+func (v Vec) Len() int { return v.n }
+
+func (v Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic("bitvec: index out of range")
+	}
+}
+
+func (v Vec) checkLen(o Vec) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+}
+
+// Get reports whether bit i is set.
+func (v Vec) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Set sets bit i.
+func (v Vec) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Clear clears bit i.
+func (v Vec) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// SetTo sets bit i to b.
+func (v Vec) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// SetAll sets every bit.
+func (v Vec) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+}
+
+// ClearAll clears every bit.
+func (v Vec) ClearAll() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// trim zeroes the unused high bits of the last word so that Equal and
+// PopCount stay exact after SetAll/Not.
+func (v Vec) trim() {
+	if r := v.n % wordBits; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Copy returns an independent copy of v.
+func (v Vec) Copy() Vec {
+	w := Vec{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of o.
+func (v Vec) CopyFrom(o Vec) {
+	v.checkLen(o)
+	copy(v.words, o.words)
+}
+
+// And sets v = v ∧ o and reports whether v changed.
+func (v Vec) And(o Vec) bool {
+	v.checkLen(o)
+	changed := false
+	for i := range v.words {
+		next := v.words[i] & o.words[i]
+		if next != v.words[i] {
+			changed = true
+			v.words[i] = next
+		}
+	}
+	return changed
+}
+
+// Or sets v = v ∨ o and reports whether v changed.
+func (v Vec) Or(o Vec) bool {
+	v.checkLen(o)
+	changed := false
+	for i := range v.words {
+		next := v.words[i] | o.words[i]
+		if next != v.words[i] {
+			changed = true
+			v.words[i] = next
+		}
+	}
+	return changed
+}
+
+// AndNot sets v = v ∧ ¬o and reports whether v changed.
+func (v Vec) AndNot(o Vec) bool {
+	v.checkLen(o)
+	changed := false
+	for i := range v.words {
+		next := v.words[i] &^ o.words[i]
+		if next != v.words[i] {
+			changed = true
+			v.words[i] = next
+		}
+	}
+	return changed
+}
+
+// Not sets v = ¬v.
+func (v Vec) Not() {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.trim()
+}
+
+// Equal reports whether v and o have identical contents.
+func (v Vec) Equal(o Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether any bit is set.
+func (v Vec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PopCount returns the number of set bits.
+func (v Vec) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls f for every set bit, in increasing order.
+func (v Vec) ForEach(f func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &^= 1 << b
+		}
+	}
+}
+
+// Bits returns the indices of all set bits in increasing order.
+func (v Vec) Bits() []int {
+	out := make([]int, 0, v.PopCount())
+	v.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders v as a 0/1 string, bit 0 first, for test diagnostics.
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,242 @@
+// Package cfggen generates seeded random flow-graph programs for property
+// tests and for the complexity/optimality experiments. The paper reports
+// "promising experience with our implementation" on unpublished programs;
+// this generator is the reproduction's workload substitute (see DESIGN.md,
+// "Substitutions").
+//
+// Two families are provided:
+//
+//   - Structured: built recursively from sequences, diamonds, while- and
+//     do-while-loops — the class for which §4.5 predicts near-quadratic
+//     overall behaviour and for which loops are counter-guarded so that
+//     interpreted executions terminate.
+//   - Unstructured: a "block soup" with forward branches and guarded back
+//     edges, which freely produces irreducible loops — the class stressing
+//     the unrestricted worst case.
+//
+// Generation is deterministic in the seed.
+package cfggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"assignmentmotion/internal/ir"
+)
+
+// Config tunes generation.
+type Config struct {
+	// Size is the approximate number of statement blocks.
+	Size int
+	// Vars is the size of the source-variable pool (minimum 3).
+	Vars int
+	// OutProb is the probability of emitting an out(v) after a block's
+	// assignments, making intermediate state observable to the
+	// equivalence oracle. Default 0.25.
+	OutProb float64
+	// MaxLoopTrips bounds each loop's trip count (default 4).
+	MaxLoopTrips int
+	// NoLoops restricts Structured to sequences and diamonds only,
+	// producing acyclic programs (used by the exhaustive all-paths
+	// experiments, internal/paths).
+	NoLoops bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = 10
+	}
+	if c.Vars < 3 {
+		c.Vars = 6
+	}
+	if c.OutProb == 0 {
+		c.OutProb = 0.25
+	}
+	if c.MaxLoopTrips <= 0 {
+		c.MaxLoopTrips = 4
+	}
+	return c
+}
+
+type gen struct {
+	rng     *rand.Rand
+	cfg     Config
+	b       *ir.Builder
+	nblocks int
+	nloops  int
+	budget  int
+	vars    []ir.Var
+}
+
+// Structured generates a random structured program.
+func Structured(seed int64, cfg Config) *ir.Graph {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		rng:    rand.New(rand.NewSource(seed)),
+		cfg:    cfg,
+		b:      ir.NewBuilder(fmt.Sprintf("structured_%d", seed)),
+		budget: cfg.Size,
+	}
+	for i := 0; i < cfg.Vars; i++ {
+		g.vars = append(g.vars, ir.Var(fmt.Sprintf("v%d", i)))
+	}
+	entry := g.newBlock()
+	g.fillStmts(entry)
+	exitName := g.region(entry)
+	exit := g.newBlock()
+	g.b.Edge(exitName, exit)
+	bb := g.b.Block(exit)
+	bb.OutVars(g.vars...)
+	graph, err := g.b.Finish(entry, exit)
+	if err != nil {
+		panic("cfggen: generated invalid graph: " + err.Error())
+	}
+	return graph
+}
+
+func (g *gen) newBlock() string {
+	g.nblocks++
+	return fmt.Sprintf("b%d", g.nblocks)
+}
+
+// region emits a structured region whose control enters at the exit edge
+// of block `from` and returns the name of the region's last block.
+func (g *gen) region(from string) string {
+	cur := from
+	for g.budget > 0 {
+		g.budget--
+		choice := g.rng.Intn(10)
+		if g.cfg.NoLoops && choice > 6 {
+			choice = g.rng.Intn(7)
+		}
+		switch choice {
+		case 0, 1, 2, 3: // plain statement block
+			next := g.newBlock()
+			g.fillStmts(next)
+			g.b.Edge(cur, next)
+			cur = next
+		case 4, 5, 6: // diamond
+			cur = g.diamond(cur)
+		case 7, 8: // while loop
+			cur = g.whileLoop(cur)
+		default: // do-while loop
+			cur = g.doWhile(cur)
+		}
+	}
+	return cur
+}
+
+func (g *gen) diamond(from string) string {
+	condBlk := g.newBlock()
+	g.b.Edge(from, condBlk)
+	g.b.Block(condBlk).Cond(g.relOp(), g.term(), g.term())
+	left, right, join := g.newBlock(), g.newBlock(), g.newBlock()
+	g.b.Edge(condBlk, left)
+	g.b.Edge(condBlk, right)
+	g.fillStmts(left)
+	g.fillStmts(right)
+	lEnd, rEnd := left, right
+	if g.budget > 0 && g.rng.Intn(2) == 0 {
+		lEnd = g.region(left)
+	}
+	if g.budget > 0 && g.rng.Intn(3) == 0 {
+		rEnd = g.region(right)
+	}
+	g.b.Edge(lEnd, join)
+	g.b.Edge(rEnd, join)
+	g.fillStmts(join)
+	return join
+}
+
+// whileLoop builds: from → hdr; hdr: if k < n then body else exitBlk;
+// body → hdr (with k := k+1). The counter guarantees termination.
+func (g *gen) whileLoop(from string) string {
+	g.nloops++
+	k := ir.Var(fmt.Sprintf("k%d", g.nloops))
+	trips := int64(1 + g.rng.Intn(g.cfg.MaxLoopTrips))
+
+	pre := g.newBlock()
+	g.b.Edge(from, pre)
+	g.b.Block(pre).Assign(k, ir.ConstTerm(0))
+
+	hdr := g.newBlock()
+	g.b.Edge(pre, hdr)
+	g.b.Block(hdr).Cond(ir.OpLT, ir.VarTerm(k), ir.ConstTerm(trips))
+
+	body := g.newBlock()
+	g.fillStmts(body)
+	g.b.Block(body).Assign(k, ir.BinTerm(ir.OpAdd, ir.VarOp(k), ir.ConstOp(1)))
+	bodyEnd := body
+	if g.budget > 0 && g.rng.Intn(2) == 0 {
+		bodyEnd = g.region(body)
+	}
+
+	after := g.newBlock()
+	g.fillStmts(after)
+	g.b.Edge(hdr, body)
+	g.b.Edge(hdr, after)
+	g.b.Edge(bodyEnd, hdr)
+	return after
+}
+
+// doWhile builds: from → body; body ends with if k < n then body' else after.
+func (g *gen) doWhile(from string) string {
+	g.nloops++
+	k := ir.Var(fmt.Sprintf("k%d", g.nloops))
+	trips := int64(1 + g.rng.Intn(g.cfg.MaxLoopTrips))
+
+	pre := g.newBlock()
+	g.b.Edge(from, pre)
+	g.b.Block(pre).Assign(k, ir.ConstTerm(0))
+
+	body := g.newBlock()
+	g.fillStmts(body)
+	bb := g.b.Block(body)
+	bb.Assign(k, ir.BinTerm(ir.OpAdd, ir.VarOp(k), ir.ConstOp(1)))
+	bb.Cond(ir.OpLT, ir.VarTerm(k), ir.ConstTerm(trips))
+
+	after := g.newBlock()
+	g.fillStmts(after)
+	g.b.Edge(pre, body)
+	g.b.Edge(body, body)
+	g.b.Edge(body, after)
+	return after
+}
+
+// fillStmts populates a block with 1-4 random assignments and possibly an
+// out statement.
+func (g *gen) fillStmts(name string) {
+	bb := g.b.Block(name)
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		bb.Assign(g.variable(), g.term())
+	}
+	if g.rng.Float64() < g.cfg.OutProb {
+		bb.Out(ir.VarOp(g.variable()))
+	}
+}
+
+func (g *gen) variable() ir.Var {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+func (g *gen) operand() ir.Operand {
+	if g.rng.Intn(4) == 0 {
+		return ir.ConstOp(int64(g.rng.Intn(9) - 4))
+	}
+	return ir.VarOp(g.variable())
+}
+
+var arithOps = []ir.Op{ir.OpAdd, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem}
+var relOps = []ir.Op{ir.OpLT, ir.OpLE, ir.OpGT, ir.OpGE, ir.OpEQ, ir.OpNE}
+
+func (g *gen) term() ir.Term {
+	switch g.rng.Intn(5) {
+	case 0:
+		return ir.OperandTerm(g.operand()) // trivial (copy/const)
+	default:
+		return ir.BinTerm(arithOps[g.rng.Intn(len(arithOps))], g.operand(), g.operand())
+	}
+}
+
+func (g *gen) relOp() ir.Op { return relOps[g.rng.Intn(len(relOps))] }

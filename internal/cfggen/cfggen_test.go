@@ -1,0 +1,89 @@
+package cfggen
+
+import (
+	"testing"
+
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/metrics"
+)
+
+func TestStructuredValidAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g1 := Structured(seed, Config{Size: 12})
+		g2 := Structured(seed, Config{Size: 12})
+		if g1.Encode() != g2.Encode() {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		if err := g1.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+	}
+}
+
+func TestStructuredTerminates(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := Structured(seed, Config{Size: 15})
+		envs := metrics.RandomEnvs(g.SourceVars(), 5, seed)
+		for _, env := range envs {
+			r := interp.Run(g, env, 0)
+			if r.Truncated {
+				t.Errorf("seed %d: structured program did not terminate", seed)
+			}
+			if len(r.Trace) == 0 {
+				t.Errorf("seed %d: no observable output", seed)
+			}
+		}
+	}
+}
+
+func TestUnstructuredValidAndTerminates(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := Unstructured(seed, Config{Size: 15})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		envs := metrics.RandomEnvs(g.SourceVars(), 5, seed)
+		for _, env := range envs {
+			r := interp.Run(g, env, 0)
+			if r.Truncated {
+				t.Errorf("seed %d: unstructured program did not terminate (fuel guard broken)", seed)
+			}
+		}
+	}
+}
+
+func TestUnstructuredHasInterestingShape(t *testing.T) {
+	branches, backEdges, criticals := 0, 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		g := Unstructured(seed, Config{Size: 15})
+		order := map[ir.NodeID]int{}
+		for i, b := range g.Blocks {
+			order[b.ID] = i
+		}
+		for _, b := range g.Blocks {
+			if len(b.Succs) == 2 {
+				branches++
+			}
+			for _, s := range b.Succs {
+				if order[s] < order[b.ID] {
+					backEdges++
+				}
+				if g.IsCriticalEdge(b.ID, s) {
+					criticals++
+				}
+			}
+		}
+	}
+	if branches == 0 || backEdges == 0 || criticals == 0 {
+		t.Errorf("shape too boring: branches=%d backEdges=%d criticals=%d", branches, backEdges, criticals)
+	}
+}
+
+func TestSizeScales(t *testing.T) {
+	small := Structured(1, Config{Size: 5})
+	large := Structured(1, Config{Size: 60})
+	if large.InstrCount() <= small.InstrCount() {
+		t.Errorf("size knob broken: %d vs %d instrs", small.InstrCount(), large.InstrCount())
+	}
+}

@@ -1,0 +1,56 @@
+package cfggen
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/ir"
+)
+
+// RedundantChain builds the adversarial workload for the §4.5 worst-case
+// complexity experiment: a dependency chain v1 := v0+1; v2 := v1+1; …; vk
+// followed by a literal duplicate of the whole chain.
+//
+// The duplicate is fully redundant, but redundant assignment elimination
+// can only peel it one link per aht/rae round: the duplicated v_i := …
+// occurrence is not redundant while the duplicated v_{i-1} := … still
+// sits in front of it (it modifies v_{i-1}, an operand). The AM phase
+// therefore needs Θ(k) iterations — the linear-iteration behaviour that
+// makes the global algorithm's unrestricted worst case quadratic in the
+// number of rounds times the per-round analysis cost.
+//
+// Each chain link lives in its own block so that block counts scale with
+// k as well.
+func RedundantChain(k int) *ir.Graph {
+	if k < 1 {
+		k = 1
+	}
+	b := ir.NewBuilder(fmt.Sprintf("chain_%d", k))
+	prev := "entry"
+	b.Block(prev).Assign("v0", ir.ConstTerm(1))
+	blockNo := 0
+	emit := func(i int) {
+		blockNo++
+		name := fmt.Sprintf("c%d", blockNo)
+		b.Block(name).Assign(
+			ir.Var(fmt.Sprintf("v%d", i)),
+			ir.BinTerm(ir.OpAdd, ir.VarOp(ir.Var(fmt.Sprintf("v%d", i-1))), ir.ConstOp(1)),
+		)
+		b.Edge(prev, name)
+		prev = name
+	}
+	for i := 1; i <= k; i++ {
+		emit(i)
+	}
+	for i := 1; i <= k; i++ { // the redundant duplicate
+		emit(i)
+	}
+	exit := "exit"
+	eb := b.Block(exit)
+	vars := make([]ir.Var, 0, k+1)
+	for i := 0; i <= k; i++ {
+		vars = append(vars, ir.Var(fmt.Sprintf("v%d", i)))
+	}
+	eb.OutVars(vars...)
+	b.Edge(prev, exit)
+	return b.MustFinish("entry", exit)
+}

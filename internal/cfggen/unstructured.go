@@ -1,0 +1,75 @@
+package cfggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"assignmentmotion/internal/ir"
+)
+
+// Unstructured generates a random unstructured program: a chain of blocks
+// with forward skip-branches and fuel-guarded back edges. Back edges may
+// land in the middle of other cycles, producing irreducible loops. A
+// global fuel counter decremented at every backward jump bounds execution,
+// so interpreted runs always terminate.
+func Unstructured(seed int64, cfg Config) *ir.Graph {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	g := &gen{
+		rng:    rng,
+		cfg:    cfg,
+		b:      ir.NewBuilder(fmt.Sprintf("unstructured_%d", seed)),
+		budget: cfg.Size,
+	}
+	for i := 0; i < cfg.Vars; i++ {
+		g.vars = append(g.vars, ir.Var(fmt.Sprintf("v%d", i)))
+	}
+
+	n := cfg.Size
+	if n < 3 {
+		n = 3
+	}
+	names := make([]string, n+2)
+	names[0] = "entry"
+	for i := 1; i <= n; i++ {
+		names[i] = fmt.Sprintf("u%d", i)
+	}
+	names[n+1] = "exit"
+
+	// Entry: initialize fuel and fall into the chain.
+	fuel := ir.Var("fuel")
+	eb := g.b.Block(names[0])
+	eb.Assign(fuel, ir.ConstTerm(int64(8+rng.Intn(8))))
+	g.b.Edge(names[0], names[1])
+
+	for i := 1; i <= n; i++ {
+		g.fillStmts(names[i])
+		bb := g.b.Block(names[i])
+		next := names[i+1]
+		switch {
+		case i > 1 && rng.Float64() < 0.35:
+			// Fuel-guarded back edge: then-target jumps backward, the
+			// else-target continues the chain.
+			back := names[1+rng.Intn(i-1)]
+			bb.Assign(fuel, ir.BinTerm(ir.OpSub, ir.VarOp(fuel), ir.ConstOp(1)))
+			bb.Cond(ir.OpGT, ir.VarTerm(fuel), ir.ConstTerm(0))
+			g.b.Edge(names[i], back)
+			g.b.Edge(names[i], next)
+		case i+2 <= n+1 && rng.Float64() < 0.4:
+			// Forward skip-branch over the next block.
+			bb.Cond(g.relOp(), g.term(), g.term())
+			g.b.Edge(names[i], names[i+2])
+			g.b.Edge(names[i], next)
+		default:
+			g.b.Edge(names[i], next)
+		}
+	}
+
+	xb := g.b.Block(names[n+1])
+	xb.OutVars(g.vars...)
+	graph, err := g.b.Finish(names[0], names[n+1])
+	if err != nil {
+		panic("cfggen: generated invalid unstructured graph: " + err.Error())
+	}
+	return graph
+}

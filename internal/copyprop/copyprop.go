@@ -1,0 +1,163 @@
+// Package copyprop implements global copy propagation: uses of a variable
+// v are replaced by w wherever the copy v := w is available on every path
+// (v = w is guaranteed to hold). Section 6 of the paper discusses EM
+// interleaved with copy propagation (cf. [8]) as the usual workaround for
+// 3-address decomposition blocking expression motion (Figure 20(a)); this
+// package provides that baseline.
+package copyprop
+
+import (
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/ir"
+)
+
+// copyPat is a copy pattern v := w.
+type copyPat struct {
+	dst, src ir.Var
+}
+
+// Run propagates copies in g until no further replacement is possible and
+// returns the number of replaced operand occurrences. Chains (t := s;
+// u := t; use of u) are resolved by iterating to a fixpoint.
+func Run(g *ir.Graph) int {
+	total := 0
+	for {
+		n := runOnce(g)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// runOnce performs one availability analysis + replacement sweep.
+func runOnce(g *ir.Graph) int {
+	prog := analysis.NewProg(g)
+
+	// Collect copy patterns v := w (trivial variable RHS, v ≠ w).
+	var pats []copyPat
+	index := map[copyPat]int{}
+	for _, in := range prog.Ins {
+		if p, ok := copyOf(in); ok {
+			if _, seen := index[p]; !seen {
+				index[p] = len(pats)
+				pats = append(pats, p)
+			}
+		}
+	}
+	if len(pats) == 0 {
+		return 0
+	}
+	bits := len(pats)
+	n := prog.Len()
+
+	gen := make([]bitvec.Vec, n)
+	kill := make([]bitvec.Vec, n)
+	for i := 0; i < n; i++ {
+		gen[i] = bitvec.New(bits)
+		kill[i] = bitvec.New(bits)
+		in := prog.Ins[i]
+		if v, ok := in.Defs(); ok {
+			for id, p := range pats {
+				if p.dst == v || p.src == v {
+					kill[i].Set(id)
+				}
+			}
+		}
+		if p, ok := copyOf(in); ok {
+			id := index[p]
+			gen[i].Set(id)
+			kill[i].Clear(id) // the copy re-establishes itself
+		}
+	}
+
+	entry := prog.EntryIndex()
+	res := dataflow.Solve(dataflow.Problem{
+		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
+		Preds: prog.Preds, Succs: prog.Succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(kill[i])
+			out.Or(gen[i])
+		},
+		Boundary: func(i int, in bitvec.Vec) {
+			if i == entry {
+				in.ClearAll()
+			}
+		},
+	})
+
+	// Replacement: substitute w for v in every use where v := w is
+	// available at the instruction entry.
+	subst := func(idx int, o ir.Operand) (ir.Operand, bool) {
+		if o.IsConst {
+			return o, false
+		}
+		for id, p := range pats {
+			if p.dst == o.Var && res.In[idx].Get(id) {
+				return ir.VarOp(p.src), true
+			}
+		}
+		return o, false
+	}
+	substTerm := func(idx int, t ir.Term) (ir.Term, int) {
+		changed := 0
+		ops := t.Operands()
+		for k, o := range ops {
+			if no, ok := subst(idx, o); ok {
+				t.Args[k] = no
+				changed++
+			}
+			_ = o
+		}
+		return t, changed
+	}
+
+	replaced := 0
+	idx := 0
+	for _, b := range g.Blocks {
+		for k, in := range b.Instrs {
+			switch in.Kind {
+			case ir.KindAssign:
+				rhs, c := substTerm(idx, in.RHS)
+				if c > 0 {
+					b.Instrs[k] = ir.NewAssign(in.LHS, rhs)
+					replaced += c
+				}
+			case ir.KindOut:
+				args := append([]ir.Operand(nil), in.Args...)
+				c := 0
+				for a, o := range args {
+					if no, ok := subst(idx, o); ok {
+						args[a] = no
+						c++
+					}
+				}
+				if c > 0 {
+					b.Instrs[k] = ir.NewOut(args...)
+					replaced += c
+				}
+			case ir.KindCond:
+				l, cl := substTerm(idx, in.CondL)
+				r, cr := substTerm(idx, in.CondR)
+				if cl+cr > 0 {
+					b.Instrs[k] = ir.NewCond(in.CondOp, l, r)
+					replaced += cl + cr
+				}
+			}
+			idx++
+		}
+	}
+	g.Normalize() // a copy x := y rewritten to x := x becomes skip
+	return replaced
+}
+
+func copyOf(in ir.Instr) (copyPat, bool) {
+	if in.Kind == ir.KindAssign && in.RHS.Trivial() && !in.RHS.Args[0].IsConst &&
+		in.RHS.Args[0].Var != in.LHS {
+		return copyPat{dst: in.LHS, src: in.RHS.Args[0].Var}, true
+	}
+	return copyPat{}, false
+}

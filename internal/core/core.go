@@ -1,0 +1,93 @@
+// Package core implements the paper's contribution: the global algorithm
+// for uniform elimination of partially redundant expressions and
+// assignments (§4). It composes three phases:
+//
+//  1. Initialization (§4.2) — every assignment x := t with a non-trivial
+//     right-hand side becomes h_t := t; x := h_t, and every non-trivial
+//     branch-condition side ε is lifted into h_ε := ε. After this phase,
+//     assignment motion subsumes expression motion (Lemma 4.1).
+//  2. Assignment motion (§4.3) — the exhaustive aht/rae fixpoint
+//     (internal/am), which captures all second-order effects and yields a
+//     relatively assignment-optimal program (Lemma 4.2) that is also
+//     relatively expression-optimal (Corollary 4.3).
+//  3. Final flush (§4.4) — the lazy-code-motion variant of internal/flush,
+//     which sinks temporary initializations to their latest points,
+//     eliminates the unusable ones, and reconstructs single-use terms,
+//     establishing relative temporary-optimality (Lemma 4.4).
+//
+// The composite result GGlobAlg is expression-optimal in the whole
+// universe of programs obtainable by EM and AM transformations
+// (Theorem 5.2) and relatively assignment- and temporary-optimal
+// (Theorems 5.3, 5.4).
+package core
+
+import (
+	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/ir"
+)
+
+// Result reports what one Optimize run did, per phase.
+type Result struct {
+	// Decomposed is the number of assignments and condition sides split
+	// by the initialization phase.
+	Decomposed int
+	// AM carries the assignment-motion phase statistics.
+	AM am.Stats
+	// Flush carries the final flush statistics.
+	Flush flush.Stats
+}
+
+// Optimize runs the full global algorithm on g in place and returns the
+// per-phase statistics. The graph is edge-split, normalized, and valid on
+// return.
+func Optimize(g *ir.Graph) Result {
+	var res Result
+	g.SplitCriticalEdges()
+	res.Decomposed = Initialize(g)
+	res.AM = am.Run(g)
+	res.Flush = flush.Run(g)
+	return res
+}
+
+// Initialize applies the initialization phase to g in place and returns
+// the number of decomposed sites. It is idempotent: instances h := ε and
+// trivial right-hand sides are left alone.
+func Initialize(g *ir.Graph) int {
+	decomposed := 0
+	for _, b := range g.Blocks {
+		next := make([]ir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			switch in.Kind {
+			case ir.KindAssign:
+				if in.RHS.Trivial() || g.IsTemp(in.LHS) {
+					next = append(next, in)
+					continue
+				}
+				h := g.TempFor(in.RHS)
+				next = append(next, ir.NewAssign(h, in.RHS), ir.NewAssign(in.LHS, ir.VarTerm(h)))
+				decomposed++
+			case ir.KindCond:
+				l, r := in.CondL, in.CondR
+				if !l.Trivial() {
+					h := g.TempFor(l)
+					next = append(next, ir.NewAssign(h, l))
+					l = ir.VarTerm(h)
+					decomposed++
+				}
+				if !r.Trivial() {
+					h := g.TempFor(r)
+					next = append(next, ir.NewAssign(h, r))
+					r = ir.VarTerm(h)
+					decomposed++
+				}
+				next = append(next, ir.NewCond(in.CondOp, l, r))
+			default:
+				next = append(next, in)
+			}
+		}
+		b.Instrs = next
+	}
+	g.Normalize()
+	return decomposed
+}

@@ -1,0 +1,45 @@
+// Package corpus embeds a set of hand-written, realistically shaped
+// programs — arithmetic kernels, a state machine, a table interpreter —
+// used as additional workloads for the optimality experiments and for
+// regression tests beyond the paper's own figures. All programs terminate
+// on every input (loops are counter- or fuel-bounded).
+package corpus
+
+import (
+	"embed"
+	"sort"
+	"strings"
+
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+)
+
+//go:embed fg/*.fg
+var files embed.FS
+
+// Names returns the available program names, sorted.
+func Names() []string {
+	entries, err := files.ReadDir("fg")
+	if err != nil {
+		panic(err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".fg"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load parses the named program into a fresh graph.
+func Load(name string) *ir.Graph {
+	data, err := files.ReadFile("fg/" + name + ".fg")
+	if err != nil {
+		panic("corpus: unknown program " + name)
+	}
+	g, err := parse.Parse(string(data))
+	if err != nil {
+		panic("corpus: " + name + ": " + err.Error())
+	}
+	return g
+}

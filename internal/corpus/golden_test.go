@@ -1,0 +1,43 @@
+package corpus
+
+import (
+	"embed"
+	"flag"
+	"os"
+	"testing"
+
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/printer"
+)
+
+//go:embed golden/*.fg
+var goldenFiles embed.FS
+
+var updateGolden = flag.Bool("update-corpus-golden", false, "rewrite the golden outputs")
+
+// TestGoldenOutputs pins the exact optimized+tidied output for every
+// corpus kernel. Re-bless intended changes with
+//
+//	go test ./internal/corpus -run TestGolden -update-corpus-golden
+func TestGoldenOutputs(t *testing.T) {
+	for _, name := range Names() {
+		g := Load(name)
+		core.Optimize(g)
+		g.Tidy()
+		got := printer.String(g)
+		path := "golden/" + name + ".globalg.fg"
+		if *updateGolden {
+			if err := os.WriteFile("internal/corpus/"+path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := goldenFiles.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update-corpus-golden): %v", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: output changed.\n--- want\n%s\n--- got\n%s", name, want, got)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package dataflow implements a generic worklist solver for uni-directional
+// bit-vector data flow problems over an abstract node graph. All of the
+// paper's analyses — redundancy (Table 2), hoistability (Table 1),
+// delayability and usability (Table 3), plus the lazy-code-motion analyses
+// of the EM baseline — instantiate this solver, either at the instruction
+// level (via analysis.Prog) or the basic-block level.
+package dataflow
+
+import "assignmentmotion/internal/bitvec"
+
+// Direction selects information flow.
+type Direction int
+
+const (
+	// Forward propagates from predecessors to successors.
+	Forward Direction = iota
+	// Backward propagates from successors to predecessors.
+	Backward
+)
+
+// Meet selects the confluence operator.
+type Meet int
+
+const (
+	// All intersects incoming facts (universally quantified paths,
+	// greatest fixpoint; vectors start full).
+	All Meet = iota
+	// Any unions incoming facts (existentially quantified paths, least
+	// fixpoint; vectors start empty).
+	Any
+)
+
+// Problem describes one analysis instance.
+type Problem struct {
+	// N is the number of nodes (instructions or blocks).
+	N int
+	// Bits is the vector width (size of the pattern universe).
+	Bits int
+	Dir  Direction
+	Meet Meet
+	// Preds and Succs give the adjacency in *control flow* terms;
+	// the solver reorients them according to Dir.
+	Preds func(i int) []int
+	Succs func(i int) []int
+	// Transfer computes the node's outgoing fact from its incoming fact
+	// (in flow direction). It must be monotone; out is pre-zeroed and the
+	// function must fully define it from in and node-local data.
+	Transfer func(i int, in, out bitvec.Vec)
+	// Boundary, if non-nil, overrides the incoming fact of flow-entry
+	// nodes (nodes with no upstream neighbours). When nil, such nodes get
+	// the meet identity (full for All, empty for Any) — which for All is
+	// almost never what an analysis wants, so most callers set it.
+	Boundary func(i int, in bitvec.Vec)
+}
+
+// Result carries the fixpoint solution. For a Forward problem In[i] is the
+// fact at the node's entry and Out[i] at its exit; for Backward problems
+// In[i] is the fact at the node's *exit* (facts flow in from successors)
+// and Out[i] at its *entry*.
+type Result struct {
+	In  []bitvec.Vec
+	Out []bitvec.Vec
+	// Sweeps counts worklist passes; exposed for complexity experiments.
+	Sweeps int
+}
+
+// Solve runs the worklist algorithm to the fixpoint.
+func Solve(p Problem) Result {
+	upstream, downstream := p.Preds, p.Succs
+	if p.Dir == Backward {
+		upstream, downstream = p.Succs, p.Preds
+	}
+
+	in := make([]bitvec.Vec, p.N)
+	out := make([]bitvec.Vec, p.N)
+	for i := 0; i < p.N; i++ {
+		in[i] = bitvec.New(p.Bits)
+		out[i] = bitvec.New(p.Bits)
+		if p.Meet == All {
+			// Greatest fixpoint: start optimistic and shrink, so facts
+			// around cycles are not lost.
+			in[i].SetAll()
+			out[i].SetAll()
+		}
+	}
+
+	// Seed every node once; the worklist then tracks whose input changed.
+	work := make([]int, 0, p.N)
+	inWork := make([]bool, p.N)
+	push := func(i int) {
+		if !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		push(i)
+	}
+
+	scratch := bitvec.New(p.Bits)
+	sweeps := 0
+	for len(work) > 0 {
+		sweeps++
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+
+		ups := upstream(i)
+		if len(ups) == 0 {
+			if p.Meet == All {
+				in[i].SetAll()
+			} else {
+				in[i].ClearAll()
+			}
+			if p.Boundary != nil {
+				p.Boundary(i, in[i])
+			}
+		} else {
+			if p.Meet == All {
+				in[i].SetAll()
+				for _, u := range ups {
+					in[i].And(out[u])
+				}
+			} else {
+				in[i].ClearAll()
+				for _, u := range ups {
+					in[i].Or(out[u])
+				}
+			}
+		}
+
+		scratch.ClearAll()
+		p.Transfer(i, in[i], scratch)
+		if !scratch.Equal(out[i]) {
+			out[i].CopyFrom(scratch)
+			for _, d := range downstream(i) {
+				push(d)
+			}
+		}
+	}
+	return Result{In: in, Out: out, Sweeps: sweeps}
+}

@@ -1,0 +1,245 @@
+package dataflow
+
+import (
+	"testing"
+
+	"assignmentmotion/internal/bitvec"
+)
+
+// chainGraph builds a linear chain 0 -> 1 -> ... -> n-1.
+func chainAdj(n int) (preds, succs func(int) []int) {
+	preds = func(i int) []int {
+		if i == 0 {
+			return nil
+		}
+		return []int{i - 1}
+	}
+	succs = func(i int) []int {
+		if i == n-1 {
+			return nil
+		}
+		return []int{i + 1}
+	}
+	return
+}
+
+func TestForwardAnyReaching(t *testing.T) {
+	// Gen bit i at node i; nothing kills: reaching facts accumulate.
+	n := 5
+	preds, succs := chainAdj(n)
+	res := Solve(Problem{
+		N: n, Bits: n, Dir: Forward, Meet: Any,
+		Preds: preds, Succs: succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.Set(i)
+		},
+	})
+	for i := 0; i < n; i++ {
+		if got := res.Out[i].PopCount(); got != i+1 {
+			t.Errorf("out[%d] has %d bits, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestForwardAllAvailabilityOnDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3. Bit 0 generated in node 1 only, bit 1 in both 1
+	// and 2. At node 3's entry only bit 1 is available (All-meet).
+	preds := func(i int) []int {
+		switch i {
+		case 0:
+			return nil
+		case 1, 2:
+			return []int{0}
+		default:
+			return []int{1, 2}
+		}
+	}
+	succs := func(i int) []int {
+		switch i {
+		case 0:
+			return []int{1, 2}
+		case 1, 2:
+			return []int{3}
+		default:
+			return nil
+		}
+	}
+	res := Solve(Problem{
+		N: 4, Bits: 2, Dir: Forward, Meet: All,
+		Preds: preds, Succs: succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			switch i {
+			case 1:
+				out.Set(0)
+				out.Set(1)
+			case 2:
+				out.Set(1)
+			}
+		},
+		Boundary: func(i int, in bitvec.Vec) { in.ClearAll() },
+	})
+	if res.In[3].Get(0) {
+		t.Error("bit 0 available at join despite missing on one path")
+	}
+	if !res.In[3].Get(1) {
+		t.Error("bit 1 not available at join despite both paths generating it")
+	}
+}
+
+func TestGreatestFixpointOnLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1 (loop), 2 -> 3. Bit 0 generated at node 0, never
+	// killed. With All-meet the loop must not destroy availability: entry
+	// of node 1 meets out(0) and out(2), and the greatest fixpoint keeps
+	// the bit around the cycle.
+	preds := func(i int) []int {
+		switch i {
+		case 0:
+			return nil
+		case 1:
+			return []int{0, 2}
+		case 2:
+			return []int{1}
+		default:
+			return []int{2}
+		}
+	}
+	succs := func(i int) []int {
+		switch i {
+		case 0:
+			return []int{1}
+		case 1:
+			return []int{2}
+		case 2:
+			return []int{1, 3}
+		default:
+			return nil
+		}
+	}
+	res := Solve(Problem{
+		N: 4, Bits: 1, Dir: Forward, Meet: All,
+		Preds: preds, Succs: succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			if i == 0 {
+				out.Set(0)
+			}
+		},
+		Boundary: func(i int, in bitvec.Vec) { in.ClearAll() },
+	})
+	for i := 1; i <= 3; i++ {
+		if !res.In[i].Get(0) {
+			t.Errorf("bit lost at node %d entry (least fixpoint computed instead of greatest)", i)
+		}
+	}
+}
+
+func TestGreatestFixpointRejectsUnsupportedLoopFact(t *testing.T) {
+	// Same loop, but nothing generates the bit and node 0 kills it; the
+	// optimistic start must not leave a self-justifying bit in the cycle
+	// because the path from the boundary carries false.
+	preds := func(i int) []int {
+		switch i {
+		case 0:
+			return nil
+		case 1:
+			return []int{0, 2}
+		case 2:
+			return []int{1}
+		default:
+			return []int{2}
+		}
+	}
+	succs := func(i int) []int {
+		switch i {
+		case 0:
+			return []int{1}
+		case 1:
+			return []int{2}
+		case 2:
+			return []int{1, 3}
+		default:
+			return nil
+		}
+	}
+	res := Solve(Problem{
+		N: 4, Bits: 1, Dir: Forward, Meet: All,
+		Preds: preds, Succs: succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in) // pure propagation, no gen
+		},
+		Boundary: func(i int, in bitvec.Vec) { in.ClearAll() },
+	})
+	if res.In[1].Get(0) {
+		t.Error("unsupported fact survived in loop")
+	}
+}
+
+func TestBackwardAllLiveness(t *testing.T) {
+	// Chain 0 -> 1 -> 2; "needed on all paths" from the use at node 2.
+	n := 3
+	preds, succs := chainAdj(n)
+	res := Solve(Problem{
+		N: n, Bits: 1, Dir: Backward, Meet: All,
+		Preds: preds, Succs: succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			if i == 2 {
+				out.Set(0)
+			}
+			if i == 1 {
+				out.Clear(0) // killed at node 1
+			}
+		},
+		Boundary: func(i int, in bitvec.Vec) { in.ClearAll() },
+	})
+	// Backward: In[i] is the fact at the node exit, Out[i] at its entry.
+	if !res.Out[2].Get(0) {
+		t.Error("fact not generated at node 2")
+	}
+	if !res.In[1].Get(0) {
+		t.Error("fact not propagated to node 1 exit")
+	}
+	if res.Out[1].Get(0) {
+		t.Error("fact not killed at node 1")
+	}
+	if res.In[0].Get(0) || res.Out[0].Get(0) {
+		t.Error("fact leaked past the kill")
+	}
+}
+
+func TestBackwardMeetAtBranch(t *testing.T) {
+	// 0 -> {1, 2}; node 1 generates, node 2 does not. With All-meet the
+	// fact must not hold at node 0's exit; with Any-meet it must.
+	preds := func(i int) []int {
+		if i == 0 {
+			return nil
+		}
+		return []int{0}
+	}
+	succs := func(i int) []int {
+		if i == 0 {
+			return []int{1, 2}
+		}
+		return nil
+	}
+	transfer := func(i int, in, out bitvec.Vec) {
+		out.CopyFrom(in)
+		if i == 1 {
+			out.Set(0)
+		}
+	}
+	boundary := func(i int, in bitvec.Vec) { in.ClearAll() }
+
+	all := Solve(Problem{N: 3, Bits: 1, Dir: Backward, Meet: All,
+		Preds: preds, Succs: succs, Transfer: transfer, Boundary: boundary})
+	if all.In[0].Get(0) {
+		t.Error("All-meet: fact at branch exit despite one path missing it")
+	}
+	anyR := Solve(Problem{N: 3, Bits: 1, Dir: Backward, Meet: Any,
+		Preds: preds, Succs: succs, Transfer: transfer, Boundary: boundary})
+	if !anyR.In[0].Get(0) {
+		t.Error("Any-meet: fact missing at branch exit despite one path having it")
+	}
+}

@@ -1,0 +1,110 @@
+// Package dce implements dead assignment elimination based on strong
+// liveness (faint-code elimination): a variable is strongly live only if
+// it is eventually used by an observable instruction (out, branch
+// condition) or contributes to a strongly live variable. Unlike plain
+// liveness, this removes self-sustaining dead loops such as s := s+i whose
+// only "use" feeds the dead variable itself.
+//
+// The paper deliberately excludes dead-code elimination from assignment
+// motion: eliminating a "dead" assignment is not semantics-preserving in
+// general, because evaluating its right-hand side may cause a run-time
+// error (§3, footnote 3). In this reproduction the interpreter's semantics
+// are total (division by zero yields 0), so dce is observationally safe
+// here; it is still kept out of every paper pipeline and offered only as
+// an opt-in comparison pass, matching the paper's treatment of [11, 17].
+package dce
+
+import (
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/ir"
+)
+
+// Run removes assignments whose targets are not strongly live at the
+// assignment's exit and returns the number of removed instructions. It
+// iterates to a fixpoint (removal can expose further dead code, although
+// strong liveness already handles most cascades in one pass).
+func Run(g *ir.Graph) int {
+	total := 0
+	for {
+		n := runOnce(g)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+func runOnce(g *ir.Graph) int {
+	prog := analysis.NewProg(g)
+	vars := g.Vars()
+	index := make(map[ir.Var]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	bits := len(vars)
+	if bits == 0 {
+		return 0
+	}
+	n := prog.Len()
+
+	// Observable uses (out, cond) unconditionally generate liveness;
+	// an assignment w := t generates liveness of t's variables only when
+	// w itself is strongly live after it.
+	obsUse := make([]bitvec.Vec, n)
+	for i := 0; i < n; i++ {
+		obsUse[i] = bitvec.New(bits)
+		in := prog.Ins[i]
+		if in.Kind == ir.KindOut || in.Kind == ir.KindCond {
+			for _, v := range in.Uses(nil) {
+				obsUse[i].Set(index[v])
+			}
+		}
+	}
+
+	res := dataflow.Solve(dataflow.Problem{
+		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
+		Preds: prog.Preds, Succs: prog.Succs,
+		// Backward: solver "in" is strong liveness at the instruction
+		// exit, "out" at its entry.
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			ins := prog.Ins[i]
+			if v, ok := ins.Defs(); ok {
+				liveAfter := in.Get(index[v])
+				out.Clear(index[v])
+				if liveAfter {
+					for _, u := range ins.RHS.Vars(nil) {
+						out.Set(index[u])
+					}
+				}
+			}
+			out.Or(obsUse[i])
+		},
+	})
+
+	removed := 0
+	idx := 0
+	for _, b := range g.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			dead := false
+			if v, ok := in.Defs(); ok {
+				// res.In[idx] is strong liveness at the instruction exit.
+				if !res.In[idx].Get(index[v]) {
+					dead = true
+				}
+			}
+			if dead {
+				removed++
+			} else {
+				kept = append(kept, in)
+			}
+			idx++
+		}
+		b.Instrs = kept
+	}
+	g.Normalize()
+	return removed
+}

@@ -1,0 +1,50 @@
+// Package figures embeds every worked example of the paper as a ".fg"
+// program and exposes loaders for tests, benchmarks, the experiment
+// harness, and the example binaries. The table in DESIGN.md ("Experiment
+// index") maps each figure to its reproduction artifact; fig07 and fig16
+// are topology reconstructions, documented in EXPERIMENTS.md.
+package figures
+
+import (
+	"embed"
+	"sort"
+	"strings"
+
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+)
+
+//go:embed fg/*.fg
+var files embed.FS
+
+// Names returns the available figure names, sorted.
+func Names() []string {
+	entries, err := files.ReadDir("fg")
+	if err != nil {
+		panic(err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".fg"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns the .fg source text of the named figure.
+func Source(name string) string {
+	data, err := files.ReadFile("fg/" + name + ".fg")
+	if err != nil {
+		panic("figures: unknown figure " + name)
+	}
+	return string(data)
+}
+
+// Load parses the named figure into a fresh graph.
+func Load(name string) *ir.Graph {
+	g, err := parse.Parse(Source(name))
+	if err != nil {
+		panic("figures: " + name + ": " + err.Error())
+	}
+	return g
+}

@@ -1,0 +1,287 @@
+// Package flush implements the final flush phase (§4.4, Table 3): a
+// lazy-code-motion-style transformation that moves every temporary
+// initialization h_ε := ε to its latest safe program point, keeps only the
+// initializations that are usable (the value is needed on some program
+// continuation), and reconstructs the original term at single-use sites.
+//
+// Two uni-directional bit-vector analyses over instructions (one bit per
+// temporary) drive the transformation:
+//
+//	Delayability (forward, all paths, greatest fixpoint):
+//	  N-DELAYABLE(ι) = false                     if ι = ι_s
+//	                 = ∏_{ι'∈pred(ι)} X-DELAYABLE(ι')   otherwise
+//	  X-DELAYABLE(ι) = IS-INST(ι) + N-DELAYABLE(ι) · ¬USED(ι) · ¬BLOCKED(ι)
+//
+//	Usability (backward, some path, least fixpoint):
+//	  N-USABLE(ι) = USED(ι) + ¬IS-INST(ι) · X-USABLE(ι)
+//	  X-USABLE(ι) = Σ_{ι'∈succ(ι)} N-USABLE(ι')
+//
+// From these (no further fixpoint):
+//
+//	N-LATEST(ι) = N-DELAYABLE*(ι) · (USED(ι) + BLOCKED(ι))
+//	X-LATEST(ι) = X-DELAYABLE*(ι) · ¬∏_{ι'∈succ(ι)} N-DELAYABLE*(ι')
+//	N-INIT(ι)   = N-LATEST(ι) · X-USABLE*(ι)      — plus forced
+//	              initializations at non-reconstructible single uses
+//	X-INIT(ι)   = X-LATEST(ι) · X-USABLE*(ι)
+//	RECONSTRUCT(ι) = USED(ι) · N-LATEST(ι) · ¬X-USABLE*(ι)
+//
+// RECONSTRUCT inlines ε where the grammar allows a term: copy assignments
+// v := h and trivial branch-condition sides. A single use inside out(...)
+// keeps its initialization instead (see DESIGN.md).
+package flush
+
+import (
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/ir"
+)
+
+// Info exposes the flush analyses for tests and diagnostics. Vectors are
+// indexed by instruction (analysis.Prog order) and bit-indexed by temp
+// position in Temps.
+type Info struct {
+	Prog  *analysis.Prog
+	Temps []ir.Var
+	Exprs []ir.Term
+
+	NDelayable []bitvec.Vec
+	XDelayable []bitvec.Vec
+	NUsable    []bitvec.Vec
+	XUsable    []bitvec.Vec
+	NLatest    []bitvec.Vec
+	XLatest    []bitvec.Vec
+
+	// Local predicate vectors (Table 3), kept for the transformation.
+	isInst  []bitvec.Vec
+	used    []bitvec.Vec
+	blocked []bitvec.Vec
+}
+
+// Analyze computes the delayability and usability analyses for g.
+func Analyze(g *ir.Graph) *Info {
+	prog := analysis.NewProg(g)
+	temps := g.Temps()
+	exprs := make([]ir.Term, len(temps))
+	for i, h := range temps {
+		e, ok := g.TempExpr(h)
+		if !ok {
+			panic("flush: unregistered temp " + string(h))
+		}
+		exprs[i] = e
+	}
+	info := &Info{Prog: prog, Temps: temps, Exprs: exprs}
+	n, bits := prog.Len(), len(temps)
+
+	isInst := make([]bitvec.Vec, n)
+	used := make([]bitvec.Vec, n)
+	blocked := make([]bitvec.Vec, n)
+	for i := 0; i < n; i++ {
+		isInst[i] = bitvec.New(bits)
+		used[i] = bitvec.New(bits)
+		blocked[i] = bitvec.New(bits)
+		in := &prog.Ins[i]
+		for t, h := range temps {
+			if analysis.IsInst(in, h, exprs[t]) {
+				isInst[i].Set(t)
+			}
+			if analysis.UsesTemp(in, h) {
+				used[i].Set(t)
+			}
+			if analysis.BlocksInit(in, h, exprs[t]) {
+				blocked[i].Set(t)
+			}
+		}
+	}
+	info.isInst, info.used, info.blocked = isInst, used, blocked
+
+	entry := prog.EntryIndex()
+	delay := dataflow.Solve(dataflow.Problem{
+		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
+		Preds: prog.Preds, Succs: prog.Succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(used[i])
+			out.AndNot(blocked[i])
+			out.Or(isInst[i])
+		},
+		Boundary: func(i int, in bitvec.Vec) {
+			if i == entry {
+				in.ClearAll()
+			}
+		},
+	})
+	info.NDelayable, info.XDelayable = delay.In, delay.Out
+
+	use := dataflow.Solve(dataflow.Problem{
+		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
+		Preds: prog.Preds, Succs: prog.Succs,
+		// Backward: solver "in" is the fact at the instruction's exit
+		// (X-USABLE), "out" at its entry (N-USABLE).
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(isInst[i])
+			out.Or(used[i])
+		},
+	})
+	info.XUsable, info.NUsable = use.In, use.Out
+
+	info.NLatest = make([]bitvec.Vec, n)
+	info.XLatest = make([]bitvec.Vec, n)
+	for i := 0; i < n; i++ {
+		nl := info.NDelayable[i].Copy()
+		stop := used[i].Copy()
+		stop.Or(blocked[i])
+		nl.And(stop)
+		info.NLatest[i] = nl
+
+		xl := info.XDelayable[i].Copy()
+		succs := prog.Succs(i)
+		allDelay := bitvec.NewFull(bits)
+		for _, s := range succs {
+			allDelay.And(info.NDelayable[s])
+		}
+		allDelay.Not() // ∃ successor not delayable; empty succs ⇒ all false
+		xl.And(allDelay)
+		if len(succs) == 0 {
+			// Program exit: an initialization delayed past the last
+			// instruction is dead.
+			xl.ClearAll()
+		}
+		info.XLatest[i] = xl
+	}
+	return info
+}
+
+// Stats reports what one flush run did.
+type Stats struct {
+	// DroppedInits is the number of original h := ε instances removed.
+	DroppedInits int
+	// InsertedInits is the number of initializations placed at latest
+	// points (including forced ones at non-reconstructible single uses).
+	InsertedInits int
+	// Reconstructed is the number of instructions whose single use of a
+	// temporary was replaced by the original term.
+	Reconstructed int
+}
+
+// Run applies the final flush to g in place.
+func Run(g *ir.Graph) Stats {
+	info := Analyze(g)
+	var st Stats
+	bits := len(info.Temps)
+	if bits == 0 {
+		return st
+	}
+
+	idx := 0
+	for _, b := range g.Blocks {
+		next := make([]ir.Instr, 0, len(b.Instrs))
+		var appendAfter []ir.Instr
+		for _, in := range b.Instrs {
+			// Initializations placed immediately before ι: the paper's
+			// N-INIT plus forced initializations at single uses that
+			// cannot be reconstructed.
+			for t := 0; t < bits; t++ {
+				if !info.NLatest[idx].Get(t) {
+					continue
+				}
+				usedHere := info.used[idx].Get(t)
+				usedLater := info.XUsable[idx].Get(t)
+				switch {
+				case usedLater:
+					next = append(next, initInstr(info, t))
+					st.InsertedInits++
+				case usedHere:
+					if !canReconstruct(in, info.Temps[t]) {
+						next = append(next, initInstr(info, t))
+						st.InsertedInits++
+					}
+				}
+			}
+
+			switch {
+			case instanceBit(info, idx) >= 0:
+				// Original instance: dropped (re-materialized at latest
+				// points above).
+				st.DroppedInits++
+			default:
+				out := in
+				for t := 0; t < bits; t++ {
+					if info.NLatest[idx].Get(t) && info.used[idx].Get(t) &&
+						!info.XUsable[idx].Get(t) && canReconstruct(in, info.Temps[t]) {
+						out = reconstruct(out, info.Temps[t], info.Exprs[t])
+						st.Reconstructed++
+					}
+				}
+				next = append(next, out)
+			}
+
+			// X-INIT: initializations placed immediately after ι.
+			for t := 0; t < bits; t++ {
+				if info.XLatest[idx].Get(t) && info.XUsable[idx].Get(t) {
+					appendAfter = append(appendAfter, initInstr(info, t))
+					st.InsertedInits++
+				}
+			}
+			idx++
+		}
+		if len(appendAfter) > 0 {
+			if _, branch := b.Cond(); branch {
+				panic("flush: X-INIT after a branch condition; critical edges must be split")
+			}
+		}
+		b.Instrs = append(next, appendAfter...)
+	}
+	g.Normalize()
+	return st
+}
+
+func initInstr(info *Info, t int) ir.Instr {
+	return ir.NewAssign(info.Temps[t], info.Exprs[t])
+}
+
+// instanceBit returns the temp index for which instruction idx is an
+// instance, or -1.
+func instanceBit(info *Info, idx int) int {
+	bitsSet := info.isInst[idx].Bits()
+	if len(bitsSet) == 0 {
+		return -1
+	}
+	return bitsSet[0]
+}
+
+// canReconstruct reports whether the single use of h in instruction in can
+// be replaced by the originating term within the 3-address grammar: a copy
+// assignment v := h, or a trivial branch-condition side that is exactly h.
+func canReconstruct(in ir.Instr, h ir.Var) bool {
+	switch in.Kind {
+	case ir.KindAssign:
+		return in.RHS.Trivial() && !in.RHS.Args[0].IsConst && in.RHS.Args[0].Var == h
+	case ir.KindCond:
+		return trivialVarSide(in.CondL, h) || trivialVarSide(in.CondR, h)
+	}
+	return false
+}
+
+func trivialVarSide(t ir.Term, h ir.Var) bool {
+	return t.Trivial() && !t.Args[0].IsConst && t.Args[0].Var == h
+}
+
+// reconstruct replaces the use of h in in by expr.
+func reconstruct(in ir.Instr, h ir.Var, expr ir.Term) ir.Instr {
+	switch in.Kind {
+	case ir.KindAssign:
+		return ir.NewAssign(in.LHS, expr)
+	case ir.KindCond:
+		l, r := in.CondL, in.CondR
+		if trivialVarSide(l, h) {
+			l = expr
+		}
+		if trivialVarSide(r, h) {
+			r = expr
+		}
+		return ir.NewCond(in.CondOp, l, r)
+	}
+	return in
+}

@@ -1,0 +1,250 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+)
+
+func run(t *testing.T, src string, init map[ir.Var]int64) Result {
+	t.Helper()
+	g, err := parse.ParseWith(src, parse.Options{AllowTemps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(g, init, 0)
+}
+
+func TestStraightLine(t *testing.T) {
+	res := run(t, `
+graph g {
+  entry a
+  exit b
+  block a {
+    x := 2 + 3
+    y := x * x
+    goto b
+  }
+  block b { out(x, y) }
+}
+`, nil)
+	if !reflect.DeepEqual(res.Trace, []int64{5, 25}) {
+		t.Errorf("trace = %v", res.Trace)
+	}
+	if res.Counts.ExprEvals != 2 {
+		t.Errorf("expr evals = %d, want 2", res.Counts.ExprEvals)
+	}
+	if res.Counts.AssignExecs != 2 {
+		t.Errorf("assign execs = %d, want 2", res.Counts.AssignExecs)
+	}
+	if res.Truncated {
+		t.Error("truncated")
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	src := `
+graph g {
+  entry a
+  exit e
+  block a { if x < 10 then b else c }
+  block b { y := 1
+    goto e }
+  block c { y := 2
+    goto e }
+  block e { out(y) }
+}
+`
+	if res := run(t, src, map[ir.Var]int64{"x": 5}); res.Trace[0] != 1 {
+		t.Errorf("then-branch trace = %v", res.Trace)
+	}
+	if res := run(t, src, map[ir.Var]int64{"x": 15}); res.Trace[0] != 2 {
+		t.Errorf("else-branch trace = %v", res.Trace)
+	}
+}
+
+func TestLoopCountsAndTermination(t *testing.T) {
+	src := `
+graph g {
+  entry a
+  exit e
+  block a {
+    i := 0
+    s := 0
+    goto hdr
+  }
+  block hdr { if i < 4 then body else e }
+  block body {
+    s := s + i
+    i := i + 1
+    goto hdr
+  }
+  block e { out(s) }
+}
+`
+	res := run(t, src, nil)
+	if !reflect.DeepEqual(res.Trace, []int64{6}) {
+		t.Errorf("trace = %v", res.Trace)
+	}
+	// 4 iterations × 2 compound assignments = 8 expr evals (cond sides are
+	// trivial: i and 4).
+	if res.Counts.ExprEvals != 8 {
+		t.Errorf("expr evals = %d, want 8", res.Counts.ExprEvals)
+	}
+	if res.Counts.AssignExecs != 2+8 {
+		t.Errorf("assign execs = %d, want 10", res.Counts.AssignExecs)
+	}
+}
+
+func TestCompoundCondSidesCountAsExprEvals(t *testing.T) {
+	res := run(t, `
+graph g {
+  entry a
+  exit e
+  block a { if x + z > y + i then b else e }
+  block b { goto e }
+  block e { out(x) }
+}
+`, map[ir.Var]int64{"x": 1, "z": 1, "y": 0, "i": 0})
+	if res.Counts.ExprEvals != 2 {
+		t.Errorf("expr evals = %d, want 2 (both condition sides)", res.Counts.ExprEvals)
+	}
+}
+
+func TestInfiniteLoopTruncates(t *testing.T) {
+	res := run(t, `
+graph g {
+  entry a
+  exit e
+  block a { goto a2 }
+  block a2 { x := x + 1
+    if x > 0 then a2 else e }
+  block e { out(x) }
+}
+`, nil)
+	if !res.Truncated {
+		t.Error("infinite loop not truncated")
+	}
+	if res.Counts.Steps < DefaultMaxSteps {
+		t.Errorf("steps = %d", res.Counts.Steps)
+	}
+}
+
+func TestDivisionByZeroIsTotal(t *testing.T) {
+	res := run(t, `
+graph g {
+  entry a
+  exit e
+  block a {
+    x := 7 / y
+    z := 7 % y
+    goto e
+  }
+  block e { out(x, z) }
+}
+`, map[ir.Var]int64{"y": 0})
+	if !reflect.DeepEqual(res.Trace, []int64{0, 0}) {
+		t.Errorf("trace = %v", res.Trace)
+	}
+}
+
+func TestTempAssignExecs(t *testing.T) {
+	res := run(t, `
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := x + y
+    z := h1
+    goto e
+  }
+  block e { out(z) }
+}
+`, map[ir.Var]int64{"x": 2, "y": 3})
+	if res.Counts.TempAssignExecs != 1 {
+		t.Errorf("temp assign execs = %d, want 1", res.Counts.TempAssignExecs)
+	}
+	if res.Counts.AssignExecs != 2 {
+		t.Errorf("assign execs = %d, want 2", res.Counts.AssignExecs)
+	}
+	if !reflect.DeepEqual(res.Trace, []int64{5}) {
+		t.Errorf("trace = %v", res.Trace)
+	}
+}
+
+func TestAllRelops(t *testing.T) {
+	cases := []struct {
+		op   string
+		x    int64
+		want int64
+	}{
+		{"<", 1, 1}, {"<", 2, 2},
+		{"<=", 2, 1}, {"<=", 3, 2},
+		{">", 3, 1}, {">", 2, 2},
+		{">=", 2, 1}, {">=", 1, 2},
+		{"==", 2, 1}, {"==", 3, 2},
+		{"!=", 3, 1}, {"!=", 2, 2},
+	}
+	for _, c := range cases {
+		src := `
+graph g {
+  entry a
+  exit e
+  block a { if x ` + c.op + ` 2 then b1 else b2 }
+  block b1 { y := 1
+    goto e }
+  block b2 { y := 2
+    goto e }
+  block e { out(y) }
+}
+`
+		res := run(t, src, map[ir.Var]int64{"x": c.x})
+		if res.Trace[0] != c.want {
+			t.Errorf("op %s with x=%d: trace %v, want [%d]", c.op, c.x, res.Trace, c.want)
+		}
+	}
+}
+
+func TestAllArithOps(t *testing.T) {
+	res := run(t, `
+graph g {
+  entry a
+  exit e
+  block a {
+    p := 7 + 2
+    q := 7 - 2
+    r := 7 * 2
+    s := 7 / 2
+    t := 7 % 2
+    goto e
+  }
+  block e { out(p, q, r, s, t) }
+}
+`, nil)
+	if !reflect.DeepEqual(res.Trace, []int64{9, 5, 14, 3, 1}) {
+		t.Errorf("trace = %v", res.Trace)
+	}
+}
+
+func TestTraceEqual(t *testing.T) {
+	a := Result{Trace: []int64{1, 2, 3}}
+	b := Result{Trace: []int64{1, 2, 3}}
+	if !TraceEqual(a, b) {
+		t.Error("equal traces reported unequal")
+	}
+	b.Trace = []int64{1, 2}
+	if TraceEqual(a, b) {
+		t.Error("unequal traces reported equal")
+	}
+	// Truncated: compare common prefix.
+	b.Truncated = true
+	if !TraceEqual(a, b) {
+		t.Error("truncated prefix comparison failed")
+	}
+	b.Trace = []int64{1, 9}
+	if TraceEqual(a, b) {
+		t.Error("diverging truncated prefix reported equal")
+	}
+}

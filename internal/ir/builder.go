@@ -1,0 +1,137 @@
+package ir
+
+import "fmt"
+
+// Builder offers a fluent API for constructing flow graphs programmatically.
+// The textual parser (internal/parse) is the usual front end; the builder
+// exists for generators and tests that assemble graphs in code.
+//
+//	b := ir.NewBuilder("example")
+//	b.Block("b1").Assign("y", ir.BinTerm(ir.OpAdd, ir.VarOp("c"), ir.VarOp("d")))
+//	b.Block("b2").CondInstr(ir.OpGT, ..., ...)
+//	b.Edge("b1", "b2")
+//	...
+//	g, err := b.Finish("b1", "b4")
+type Builder struct {
+	g      *Graph
+	blocks map[string]*BlockBuilder
+	order  []string
+	edges  [][2]string
+	err    error
+}
+
+// BlockBuilder accumulates the instructions of one block.
+type BlockBuilder struct {
+	parent *Builder
+	name   string
+	instrs []Instr
+}
+
+// NewBuilder returns a builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: NewGraph(name), blocks: map[string]*BlockBuilder{}}
+}
+
+// Block returns the block builder for name, creating the block on first use.
+func (b *Builder) Block(name string) *BlockBuilder {
+	if bb, ok := b.blocks[name]; ok {
+		return bb
+	}
+	bb := &BlockBuilder{parent: b, name: name}
+	b.blocks[name] = bb
+	b.order = append(b.order, name)
+	return bb
+}
+
+// Edge records the edge from→to. Blocks are created on demand, so edges may
+// be declared before their endpoints hold instructions.
+func (b *Builder) Edge(from, to string) *Builder {
+	b.Block(from)
+	b.Block(to)
+	b.edges = append(b.edges, [2]string{from, to})
+	return b
+}
+
+// Assign appends v := t.
+func (bb *BlockBuilder) Assign(v Var, t Term) *BlockBuilder {
+	bb.instrs = append(bb.instrs, NewAssign(v, t))
+	return bb
+}
+
+// AssignVar appends the copy v := w.
+func (bb *BlockBuilder) AssignVar(v, w Var) *BlockBuilder {
+	return bb.Assign(v, VarTerm(w))
+}
+
+// AssignBin appends v := a op b.
+func (bb *BlockBuilder) AssignBin(v Var, op Op, a, c Operand) *BlockBuilder {
+	return bb.Assign(v, BinTerm(op, a, c))
+}
+
+// Out appends out(args...).
+func (bb *BlockBuilder) Out(args ...Operand) *BlockBuilder {
+	bb.instrs = append(bb.instrs, NewOut(args...))
+	return bb
+}
+
+// OutVars appends out(vars...).
+func (bb *BlockBuilder) OutVars(vars ...Var) *BlockBuilder {
+	args := make([]Operand, len(vars))
+	for i, v := range vars {
+		args[i] = VarOp(v)
+	}
+	return bb.Out(args...)
+}
+
+// Cond appends the branch condition "l op r"; the block must then be given
+// exactly two outgoing edges, then-target first.
+func (bb *BlockBuilder) Cond(op Op, l, r Term) *BlockBuilder {
+	bb.instrs = append(bb.instrs, NewCond(op, l, r))
+	return bb
+}
+
+// Instr appends a pre-built instruction.
+func (bb *BlockBuilder) Instr(in Instr) *BlockBuilder {
+	bb.instrs = append(bb.instrs, in)
+	return bb
+}
+
+// Finish materializes the graph with the given entry and exit block names.
+// It normalizes and validates the result.
+func (b *Builder) Finish(entry, exit string) (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	ids := map[string]NodeID{}
+	for _, name := range b.order {
+		blk := b.g.AddBlock(name)
+		blk.Instrs = b.blocks[name].instrs
+		ids[name] = blk.ID
+	}
+	for _, e := range b.edges {
+		b.g.AddEdge(ids[e[0]], ids[e[1]])
+	}
+	en, ok := ids[entry]
+	if !ok {
+		return nil, fmt.Errorf("ir: unknown entry block %q", entry)
+	}
+	ex, ok := ids[exit]
+	if !ok {
+		return nil, fmt.Errorf("ir: unknown exit block %q", exit)
+	}
+	b.g.Entry, b.g.Exit = en, ex
+	b.g.Normalize()
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// MustFinish is Finish that panics on error, for tests and examples.
+func (b *Builder) MustFinish(entry, exit string) *Graph {
+	g, err := b.Finish(entry, exit)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,287 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a basic block within one Graph. IDs are dense indices
+// into Graph.Blocks and are never reused within a graph.
+type NodeID int
+
+// Block is a basic block: a named node carrying a sequence of instructions.
+// A block with two successors must end in a KindCond instruction; control
+// transfers to Succs[0] when the condition holds and to Succs[1] otherwise.
+type Block struct {
+	ID     NodeID
+	Name   string
+	Instrs []Instr
+	Succs  []NodeID
+	Preds  []NodeID
+}
+
+// Cond returns the block's trailing branch condition, if any.
+func (b *Block) Cond() (Instr, bool) {
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Kind == KindCond {
+		return b.Instrs[n-1], true
+	}
+	return Instr{}, false
+}
+
+// Graph is a directed flow graph G = (N, E, s, e) with unique start and end
+// nodes; the start node has no predecessors and the end node no successors
+// (§2). Graph also owns the registry of temporaries h_ε so that every
+// expression pattern maps to one temporary throughout all phases.
+type Graph struct {
+	Name   string
+	Blocks []*Block
+	Entry  NodeID
+	Exit   NodeID
+
+	tempByExpr map[string]Var // expression-pattern key -> temporary
+	exprByTemp map[Var]Term   // temporary -> expression pattern
+	nextTemp   int
+	nextSynth  int
+}
+
+// NewGraph returns an empty graph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:       name,
+		tempByExpr: map[string]Var{},
+		exprByTemp: map[Var]Term{},
+		nextTemp:   1,
+		nextSynth:  1,
+	}
+}
+
+// AddBlock appends a new empty block and returns it. Names must be unique;
+// an empty name is replaced by a generated one.
+func (g *Graph) AddBlock(name string) *Block {
+	if name == "" {
+		name = fmt.Sprintf("n%d", len(g.Blocks)+1)
+	}
+	b := &Block{ID: NodeID(len(g.Blocks)), Name: name}
+	g.Blocks = append(g.Blocks, b)
+	return b
+}
+
+// Block returns the block with the given ID.
+func (g *Graph) Block(id NodeID) *Block { return g.Blocks[int(id)] }
+
+// BlockByName returns the block with the given name, or nil.
+func (g *Graph) BlockByName(name string) *Block {
+	for _, b := range g.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// AddEdge appends the edge (from, to) to both adjacency lists. Successor
+// order is meaningful for branch nodes (then/else).
+func (g *Graph) AddEdge(from, to NodeID) {
+	g.Block(from).Succs = append(g.Block(from).Succs, to)
+	g.Block(to).Preds = append(g.Block(to).Preds, from)
+}
+
+// EntryBlock returns the start node s.
+func (g *Graph) EntryBlock() *Block { return g.Block(g.Entry) }
+
+// ExitBlock returns the end node e.
+func (g *Graph) ExitBlock() *Block { return g.Block(g.Exit) }
+
+// TempFor returns the unique temporary h_ε for expression pattern ε,
+// creating it on first use. It panics when ε is trivial: only non-trivial
+// terms are expression patterns (§2).
+func (g *Graph) TempFor(expr Term) Var {
+	if expr.Trivial() {
+		panic("ir: TempFor on trivial term")
+	}
+	key := expr.Key()
+	if h, ok := g.tempByExpr[key]; ok {
+		return h
+	}
+	h := Var(fmt.Sprintf("%s%d", tempPrefix, g.nextTemp))
+	g.nextTemp++
+	g.tempByExpr[key] = h
+	g.exprByTemp[h] = expr
+	return h
+}
+
+// TempExpr returns the expression pattern associated with temporary h.
+func (g *Graph) TempExpr(h Var) (Term, bool) {
+	t, ok := g.exprByTemp[h]
+	return t, ok
+}
+
+// IsTemp reports whether v is a temporary registered in this graph.
+func (g *Graph) IsTemp(v Var) bool {
+	_, ok := g.exprByTemp[v]
+	return ok
+}
+
+// Temps returns all registered temporaries in creation order.
+func (g *Graph) Temps() []Var {
+	out := make([]Var, 0, len(g.exprByTemp))
+	for h := range g.exprByTemp {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Creation order coincides with numeric suffix order.
+		return tempNum(out[i]) < tempNum(out[j])
+	})
+	return out
+}
+
+func tempNum(v Var) int {
+	n := 0
+	for _, r := range string(v)[len(tempPrefix):] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// RegisterTemp records an externally chosen temporary h for expression ε.
+// It is used by graph cloning and by tests that construct post-init graphs
+// directly. Registering a conflicting association panics (caller bug).
+func (g *Graph) RegisterTemp(h Var, expr Term) {
+	if prev, ok := g.exprByTemp[h]; ok {
+		if !prev.Equal(expr) {
+			panic(fmt.Sprintf("ir: temp %s already bound to %s", h, prev))
+		}
+		return
+	}
+	if prev, ok := g.tempByExpr[expr.Key()]; ok && prev != h {
+		panic(fmt.Sprintf("ir: expression %s already bound to %s", expr, prev))
+	}
+	g.exprByTemp[h] = expr
+	g.tempByExpr[expr.Key()] = h
+	if IsTempName(h) && tempNum(h) >= g.nextTemp {
+		g.nextTemp = tempNum(h) + 1
+	}
+}
+
+// Vars returns every variable occurring in the program (used or defined),
+// sorted, excluding none. Useful for interpreters and generators.
+func (g *Graph) Vars() []Var {
+	seen := map[Var]bool{}
+	var scratch []Var
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			scratch = in.Uses(scratch[:0])
+			for _, v := range scratch {
+				seen[v] = true
+			}
+			if v, ok := in.Defs(); ok {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SourceVars returns the non-temporary variables of the program, sorted.
+func (g *Graph) SourceVars() []Var {
+	var out []Var
+	for _, v := range g.Vars() {
+		if !g.IsTemp(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Normalize removes skip instructions from blocks that contain any other
+// instruction and gives otherwise-empty blocks a single skip, so that every
+// block carries at least one instruction. The instruction-level analyses
+// rely on this invariant. It returns g for chaining.
+func (g *Graph) Normalize() *Graph {
+	for _, b := range g.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Kind != KindSkip {
+				kept = append(kept, in)
+			}
+		}
+		if len(kept) == 0 {
+			kept = append(kept, Skip())
+		}
+		b.Instrs = kept
+	}
+	return g
+}
+
+// Encode returns a canonical, deterministic rendering of the graph used for
+// change detection in fixpoint loops and structural comparison in tests.
+func (g *Graph) Encode() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%s[", b.Name)
+		for i, in := range b.Instrs {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(in.Key())
+		}
+		sb.WriteString("]->")
+		for i, s := range b.Succs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(g.Block(s).Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Clone returns a deep copy of g sharing no mutable state.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.Name)
+	c.Entry, c.Exit = g.Entry, g.Exit
+	c.nextTemp, c.nextSynth = g.nextTemp, g.nextSynth
+	c.Blocks = make([]*Block, len(g.Blocks))
+	for i, b := range g.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name}
+		nb.Instrs = make([]Instr, len(b.Instrs))
+		copy(nb.Instrs, b.Instrs)
+		nb.Succs = append([]NodeID(nil), b.Succs...)
+		nb.Preds = append([]NodeID(nil), b.Preds...)
+		c.Blocks[i] = nb
+	}
+	for h, e := range g.exprByTemp {
+		c.exprByTemp[h] = e
+		c.tempByExpr[e.Key()] = h
+	}
+	return c
+}
+
+// InstrCount returns the total number of instructions in the program.
+func (g *Graph) InstrCount() int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// CountPattern returns the number of occurrences of assignment pattern p.
+func (g *Graph) CountPattern(p AssignPattern) int {
+	n := 0
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == KindAssign && in.LHS == p.LHS && in.RHS.Equal(p.RHS) {
+				n++
+			}
+		}
+	}
+	return n
+}

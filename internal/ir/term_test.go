@@ -1,0 +1,103 @@
+package ir
+
+import "testing"
+
+func TestOperandKey(t *testing.T) {
+	if got := VarOp("a").Key(); got != "a" {
+		t.Errorf("VarOp key = %q, want a", got)
+	}
+	if got := ConstOp(42).Key(); got != "42" {
+		t.Errorf("ConstOp key = %q, want 42", got)
+	}
+	if got := ConstOp(-7).Key(); got != "-7" {
+		t.Errorf("ConstOp key = %q, want -7", got)
+	}
+}
+
+func TestTermKeyAndTriviality(t *testing.T) {
+	ab := BinTerm(OpAdd, VarOp("a"), VarOp("b"))
+	if ab.Trivial() {
+		t.Error("a+b reported trivial")
+	}
+	if got := ab.Key(); got != "a+b" {
+		t.Errorf("key = %q, want a+b", got)
+	}
+	if !VarTerm("x").Trivial() {
+		t.Error("x reported non-trivial")
+	}
+	if !ConstTerm(3).Trivial() {
+		t.Error("3 reported non-trivial")
+	}
+	// Patterns are syntactic: a+b and b+a are distinct.
+	ba := BinTerm(OpAdd, VarOp("b"), VarOp("a"))
+	if ab.Key() == ba.Key() {
+		t.Error("a+b and b+a share a key; patterns must be syntactic")
+	}
+}
+
+func TestTermUsesVar(t *testing.T) {
+	tm := BinTerm(OpMul, VarOp("x"), ConstOp(3))
+	if !tm.UsesVar("x") {
+		t.Error("x*3 does not use x")
+	}
+	if tm.UsesVar("y") {
+		t.Error("x*3 uses y")
+	}
+	if n := len(tm.Vars(nil)); n != 1 {
+		t.Errorf("x*3 has %d vars, want 1", n)
+	}
+}
+
+func TestBinTermRejectsRelationalOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BinTerm accepted a relational operator")
+		}
+	}()
+	BinTerm(OpLT, VarOp("a"), VarOp("b"))
+}
+
+func TestAssignPattern(t *testing.T) {
+	p := AssignPattern{LHS: "x", RHS: BinTerm(OpAdd, VarOp("a"), VarOp("b"))}
+	if got := p.Key(); got != "x:=a+b" {
+		t.Errorf("key = %q", got)
+	}
+	if p.SelfReferential() {
+		t.Error("x := a+b reported self-referential")
+	}
+	q := AssignPattern{LHS: "x", RHS: BinTerm(OpAdd, VarOp("x"), ConstOp(1))}
+	if !q.SelfReferential() {
+		t.Error("x := x+1 not reported self-referential")
+	}
+}
+
+func TestIsTempName(t *testing.T) {
+	cases := map[Var]bool{
+		"h1":   true,
+		"h42":  true,
+		"h":    false,
+		"hx":   false,
+		"x":    false,
+		"h1a":  false,
+		"H1":   false,
+		"hole": false,
+	}
+	for v, want := range cases {
+		if got := IsTempName(v); got != want {
+			t.Errorf("IsTempName(%q) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	for _, o := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpRem} {
+		if !o.IsArith() || o.IsRel() {
+			t.Errorf("%q misclassified", o)
+		}
+	}
+	for _, o := range []Op{OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE} {
+		if o.IsArith() || !o.IsRel() {
+			t.Errorf("%q misclassified", o)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"testing"
+)
+
+// tidyFixture builds: entry → skipA → skipB → body → exit with a diamond
+// whose synthetic-like skip arms can be bypassed.
+func TestTidyBypassesSkipChains(t *testing.T) {
+	b := NewBuilder("tidy")
+	b.Block("entry").Assign("x", ConstTerm(1))
+	b.Block("skipA")
+	b.Block("skipB")
+	b.Block("body").Assign("y", BinTerm(OpAdd, VarOp("x"), ConstOp(1)))
+	b.Block("exit").OutVars("x", "y")
+	b.Edge("entry", "skipA").Edge("skipA", "skipB").Edge("skipB", "body").Edge("body", "exit")
+	g := b.MustFinish("entry", "exit")
+
+	before := len(g.Blocks)
+	n := g.Tidy()
+	g.MustValidate()
+	if n == 0 || len(g.Blocks) >= before {
+		t.Fatalf("removed %d blocks, %d -> %d", n, before, len(g.Blocks))
+	}
+	// Everything merges into a two-block (or even smaller) program; the
+	// instruction sequence must be intact.
+	want := []string{"x:=1", "y:=x+1", "out(x,y)"}
+	var got []string
+	for _, blk := range g.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Kind != KindSkip {
+				got = append(got, in.Key())
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("instructions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("instructions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTidyKeepsBranches(t *testing.T) {
+	b := NewBuilder("branches")
+	b.Block("s").Cond(OpLT, VarTerm("c"), ConstTerm(0))
+	b.Block("l").Assign("x", ConstTerm(1))
+	b.Block("r").Assign("x", ConstTerm(2))
+	b.Block("j").OutVars("x")
+	b.Edge("s", "l").Edge("s", "r").Edge("l", "j").Edge("r", "j")
+	g := b.MustFinish("s", "j")
+	g.Tidy()
+	g.MustValidate()
+	if len(g.Blocks) != 4 {
+		t.Errorf("tidy altered a minimal diamond: %d blocks", len(g.Blocks))
+	}
+}
+
+func TestTidyBypassesSyntheticArm(t *testing.T) {
+	// A split critical edge whose synthetic node stayed empty is undone.
+	b := NewBuilder("split")
+	b.Block("s").Cond(OpLT, VarTerm("c"), ConstTerm(0))
+	b.Block("l").Assign("x", ConstTerm(1))
+	b.Block("j").OutVars("x")
+	b.Edge("s", "l").Edge("s", "j").Edge("l", "j")
+	g := b.MustFinish("s", "j")
+	g.SplitCriticalEdges()
+	nsplit := len(g.Blocks)
+	if nsplit != 4 {
+		t.Fatalf("expected one synthetic node, got %d blocks", nsplit)
+	}
+	g.Tidy()
+	g.MustValidate()
+	if len(g.Blocks) != 3 {
+		t.Errorf("synthetic node not bypassed: %d blocks", len(g.Blocks))
+	}
+}
+
+func TestTidySelfLoopUntouched(t *testing.T) {
+	b := NewBuilder("loop")
+	b.Block("pre").Assign("k", ConstTerm(0))
+	b.Block("body").
+		Assign("k", BinTerm(OpAdd, VarOp("k"), ConstOp(1))).
+		Cond(OpLT, VarTerm("k"), ConstTerm(3))
+	b.Block("post").OutVars("k")
+	b.Edge("pre", "body").Edge("body", "body").Edge("body", "post")
+	g := b.MustFinish("pre", "post")
+	g.SplitCriticalEdges() // back edge gets a synthetic node
+	g.Tidy()
+	g.MustValidate()
+	// The loop structure must survive; specifically some block must still
+	// reach itself (directly or via the synthetic).
+	if !stillHasCycle(g) {
+		t.Errorf("tidy destroyed the loop:\n%s", g.Encode())
+	}
+}
+
+func stillHasCycle(g *Graph) bool {
+	return !isAcyclic(g)
+}
+
+func isAcyclic(g *Graph) bool {
+	color := make([]int, len(g.Blocks))
+	var visit func(NodeID) bool
+	visit = func(n NodeID) bool {
+		switch color[n] {
+		case 1:
+			return false
+		case 2:
+			return true
+		}
+		color[n] = 1
+		for _, s := range g.Block(n).Succs {
+			if !visit(s) {
+				return false
+			}
+		}
+		color[n] = 2
+		return true
+	}
+	return visit(g.Entry)
+}

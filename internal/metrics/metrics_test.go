@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+)
+
+func TestMeasureStatic(t *testing.T) {
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a + b
+    x := h1
+    y := c
+    if x < 3 then b else e
+  }
+  block b {
+    z := h1
+    goto e
+  }
+  block e { out(x, y, z) }
+}
+`)
+	s := Measure(g)
+	if s.Blocks != 3 {
+		t.Errorf("blocks = %d", s.Blocks)
+	}
+	if s.Instrs != 6 {
+		t.Errorf("instrs = %d", s.Instrs)
+	}
+	if s.Assignments != 4 {
+		t.Errorf("assignments = %d", s.Assignments)
+	}
+	if s.Expressions != 1 { // a+b; the condition sides are trivial
+		t.Errorf("expressions = %d", s.Expressions)
+	}
+	if s.TempInits != 1 || s.TempCount != 1 {
+		t.Errorf("tempInits=%d tempCount=%d", s.TempInits, s.TempCount)
+	}
+	if s.TempLifetime <= 0 {
+		t.Errorf("lifetime = %d", s.TempLifetime)
+	}
+	if str := s.String(); !strings.Contains(str, "blocks=3") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestLifetimeAdjacent(t *testing.T) {
+	// Init immediately followed by its single use: the range covers just
+	// the use instruction.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a + b
+    x := h1
+    goto e
+  }
+  block e { out(x) }
+}
+`)
+	if got := TotalLifetime(g); got != 1 {
+		t.Errorf("lifetime = %d, want 1", got)
+	}
+}
+
+func TestLifetimeStretched(t *testing.T) {
+	// Unrelated instructions inside the range extend it.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a + b
+    p := 1
+    q := 2
+    x := h1
+    goto e
+  }
+  block e { out(x, p, q) }
+}
+`)
+	if got := TotalLifetime(g); got != 3 {
+		t.Errorf("lifetime = %d, want 3 (p, q, and the use)", got)
+	}
+}
+
+func TestLifetimeCutByReinit(t *testing.T) {
+	// A re-initialization starts a new range; instructions before it and
+	// after the last use do not count twice.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a + b
+    x := h1
+    h1 := a + b
+    y := h1
+    goto e
+  }
+  block e { out(x, y) }
+}
+`)
+	if got := TotalLifetime(g); got != 2 {
+		t.Errorf("lifetime = %d, want 2 (each use site only)", got)
+	}
+}
+
+func TestLifetimeDeadInitIsZero(t *testing.T) {
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a + b
+    x := 1
+    goto e
+  }
+  block e { out(x) }
+}
+`)
+	if got := TotalLifetime(g); got != 0 {
+		t.Errorf("lifetime = %d, want 0 for a dead init", got)
+	}
+}
+
+func TestLifetimeAcrossBranch(t *testing.T) {
+	// Used on one arm only: the range covers the branch instruction, the
+	// using arm, not the other arm.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a + b
+    if c < 0 then l else r
+  }
+  block l {
+    x := h1
+    goto e
+  }
+  block r {
+    x := 2
+    goto e
+  }
+  block e { out(x) }
+}
+`)
+	// Range: the condition, l's use. r's x := 2 is not "needed".
+	if got := TotalLifetime(g); got != 2 {
+		t.Errorf("lifetime = %d, want 2", got)
+	}
+}
+
+func TestRandomEnvsDeterministic(t *testing.T) {
+	vars := []ir.Var{"a", "b", "c"}
+	e1 := RandomEnvs(vars, 5, 7)
+	e2 := RandomEnvs(vars, 5, 7)
+	if len(e1) != 5 {
+		t.Fatalf("count = %d", len(e1))
+	}
+	for i := range e1 {
+		for _, v := range vars {
+			if e1[i][v] != e2[i][v] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+	e3 := RandomEnvs(vars, 5, 8)
+	same := true
+	for i := range e1 {
+		for _, v := range vars {
+			if e1[i][v] != e3[i][v] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical environments")
+	}
+}
+
+func TestDynamicAggregation(t *testing.T) {
+	g := parse.MustParse(`
+graph g {
+  entry a
+  exit e
+  block a {
+    x := a + b
+    goto e
+  }
+  block e { out(x) }
+}
+`)
+	envs := RandomEnvs(g.SourceVars(), 4, 1)
+	d := Evaluate(g, envs, 0)
+	if d.Runs != 4 {
+		t.Errorf("runs = %d", d.Runs)
+	}
+	if d.ExprEvals != 4 || d.MeanExprEvals() != 1 {
+		t.Errorf("exprEvals = %d mean %f", d.ExprEvals, d.MeanExprEvals())
+	}
+	if d.AssignExecs != 4 || d.MeanAssignExecs() != 1 {
+		t.Errorf("assigns = %d", d.AssignExecs)
+	}
+	var zero Dynamic
+	if zero.MeanExprEvals() != 0 || zero.MeanAssignExecs() != 0 {
+		t.Error("zero-run means not 0")
+	}
+	var d2 Dynamic
+	d2.Add(interp.Result{Truncated: true})
+	if d2.Truncated != 1 {
+		t.Error("truncation not counted")
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := map[string]Dynamic{
+		"b": {Runs: 2, ExprEvals: 10, AssignExecs: 4},
+		"a": {Runs: 2, ExprEvals: 2, AssignExecs: 4},
+	}
+	out := Table(rows)
+	ai := strings.Index(out, "a ")
+	bi := strings.Index(out, "b ")
+	if ai == -1 || bi == -1 || ai > bi {
+		t.Errorf("table not sorted by expr/run:\n%s", out)
+	}
+	if !strings.Contains(out, "pipeline") {
+		t.Errorf("missing header:\n%s", out)
+	}
+}

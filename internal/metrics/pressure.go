@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/ir"
+)
+
+// MaxTempPressure returns the maximum number of temporaries simultaneously
+// live at any program point — the register-pressure cost of the introduced
+// temporaries that the paper's temporary-optimality (lifetime ranges,
+// Theorem 5.4) is a proxy for. A temporary is live at a point when some
+// path from there reaches a use of it before a re-initialization.
+func MaxTempPressure(g *ir.Graph) int {
+	temps := g.Temps()
+	bits := len(temps)
+	if bits == 0 {
+		return 0
+	}
+	index := make(map[ir.Var]int, bits)
+	for i, h := range temps {
+		index[h] = i
+	}
+	prog := analysis.NewProg(g)
+	n := prog.Len()
+
+	use := make([]bitvec.Vec, n)
+	def := make([]bitvec.Vec, n)
+	for i := 0; i < n; i++ {
+		use[i] = bitvec.New(bits)
+		def[i] = bitvec.New(bits)
+		in := &prog.Ins[i]
+		for t, h := range temps {
+			if analysis.UsesTemp(in, h) {
+				use[i].Set(t)
+			}
+		}
+		if v, ok := in.Defs(); ok {
+			if t, isTemp := index[v]; isTemp {
+				def[i].Set(t)
+			}
+		}
+	}
+
+	res := dataflow.Solve(dataflow.Problem{
+		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
+		Preds: prog.Preds, Succs: prog.Succs,
+		// Backward: solver "in" is liveness at the instruction exit,
+		// "out" at its entry.
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(def[i])
+			out.Or(use[i])
+		},
+	})
+
+	max := 0
+	for i := 0; i < n; i++ {
+		if c := res.In[i].PopCount(); c > max {
+			max = c
+		}
+		if c := res.Out[i].PopCount(); c > max {
+			max = c
+		}
+	}
+	return max
+}

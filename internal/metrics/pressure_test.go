@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"testing"
+
+	"assignmentmotion/internal/parse"
+)
+
+func TestMaxTempPressureZeroWithoutTemps(t *testing.T) {
+	g := parse.MustParse(`
+graph g {
+  entry a
+  exit e
+  block a { x := p + q
+    goto e }
+  block e { out(x) }
+}
+`)
+	if got := MaxTempPressure(g); got != 0 {
+		t.Errorf("pressure = %d", got)
+	}
+}
+
+func TestMaxTempPressureOverlap(t *testing.T) {
+	// h1 and h2 are live simultaneously between the second init and the
+	// first use.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := p + q
+    h2 := p - q
+    x := h1
+    y := h2
+    goto e
+  }
+  block e { out(x, y) }
+}
+`)
+	if got := MaxTempPressure(g); got != 2 {
+		t.Errorf("pressure = %d, want 2", got)
+	}
+}
+
+func TestMaxTempPressureSequential(t *testing.T) {
+	// Sequential, non-overlapping lifetimes: pressure 1.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := p + q
+    x := h1
+    h2 := p - q
+    y := h2
+    goto e
+  }
+  block e { out(x, y) }
+}
+`)
+	if got := MaxTempPressure(g); got != 1 {
+		t.Errorf("pressure = %d, want 1", got)
+	}
+}
+
+func TestMaxTempPressureAcrossBranch(t *testing.T) {
+	// h1 live across the whole diamond (used below the join), h2 only on
+	// one arm.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := p + q
+    if c < 0 then l else r
+  }
+  block l {
+    h2 := p - q
+    x := h2
+    goto j
+  }
+  block r {
+    x := 1
+    goto j
+  }
+  block j {
+    y := h1
+    goto e
+  }
+  block e { out(x, y) }
+}
+`)
+	if got := MaxTempPressure(g); got != 2 {
+		t.Errorf("pressure = %d, want 2", got)
+	}
+}
+
+func TestMaxTempPressureReinitCuts(t *testing.T) {
+	// A re-initialization starts a fresh range; no overlap with itself.
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := p + q
+    x := h1
+    p := 7
+    h1 := p + q
+    y := h1
+    goto e
+  }
+  block e { out(x, y) }
+}
+`)
+	if got := MaxTempPressure(g); got != 1 {
+		t.Errorf("pressure = %d, want 1", got)
+	}
+}

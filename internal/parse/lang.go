@@ -1,0 +1,353 @@
+package parse
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/ir"
+)
+
+// ParseProgram reads a program in the structured mini-language and
+// desugars it into a flow graph. The language removes the need to write
+// basic blocks and gotos by hand:
+//
+//	prog    = "prog" IDENT "{" stmt* "}"
+//	stmt    = IDENT ":=" expr
+//	        | "out" "(" [ expr { "," expr } ] ")"
+//	        | "skip"
+//	        | "if" cond "{" stmt* "}" [ "else" "{" stmt* "}" ]
+//	        | "while" cond "{" stmt* "}"
+//	        | "do" "{" stmt* "}" "while" cond
+//	        | "break" | "continue"
+//	cond    = expr relop expr
+//
+// Expressions are fully nested (precedence and parentheses) and are
+// canonically decomposed into 3-address form exactly as ParseNested does.
+// "break" and "continue" refer to the innermost loop; statements after
+// them in the same block are rejected as unreachable.
+func ParseProgram(src string) (*ir.Graph, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &langParser{
+		parser: parser{toks: toks, nested: &nestedState{prefix: freshPrefix(toks)}},
+	}
+	return p.parseProgram()
+}
+
+// MustParseProgram is ParseProgram that panics on error.
+func MustParseProgram(src string) *ir.Graph {
+	g, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type langParser struct {
+	parser
+	b      *ir.Builder
+	nblock int
+	// loop stack for break/continue targets.
+	loops []loopCtx
+}
+
+type loopCtx struct {
+	continueTo string // loop header (while) or body (do-while re-entry is the cond, see below)
+	breakTo    string
+}
+
+func (p *langParser) newBlock() string {
+	p.nblock++
+	return fmt.Sprintf("b%d", p.nblock)
+}
+
+func (p *langParser) parseProgram() (*ir.Graph, error) {
+	if err := p.expectKeyword("prog"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.ident("program name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	p.b = ir.NewBuilder(nameTok.text)
+	entry := p.newBlock()
+	end, terminated, err := p.stmtList(entry)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace, "}"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+	exit := end
+	if terminated {
+		// The program ended inside a break/continue chain; give the graph
+		// a fresh, reachable exit.
+		return nil, p.errorf(nameTok, "program ends in break/continue")
+	}
+	g, err := p.b.Finish(entry, exit)
+	if err != nil {
+		return nil, fmt.Errorf("prog %q: %w", nameTok.text, err)
+	}
+	return g, nil
+}
+
+// stmtList parses statements into the block named cur, creating more
+// blocks as control flow demands. It returns the block that control falls
+// out of, and whether the flow was terminated by break/continue (in which
+// case the returned block is meaningless).
+func (p *langParser) stmtList(cur string) (string, bool, error) {
+	for {
+		t := p.cur()
+		if t.kind == tokRBrace || t.kind == tokEOF {
+			return cur, false, nil
+		}
+		if t.kind != tokIdent {
+			return "", false, p.errorf(t, "expected statement, found %s", t)
+		}
+		switch t.text {
+		case "skip":
+			p.advance()
+		case "out":
+			if err := p.parseLangOut(cur); err != nil {
+				return "", false, err
+			}
+		case "if":
+			next, err := p.parseIf(cur)
+			if err != nil {
+				return "", false, err
+			}
+			cur = next
+		case "while":
+			next, err := p.parseWhile(cur)
+			if err != nil {
+				return "", false, err
+			}
+			cur = next
+		case "do":
+			next, err := p.parseDoWhile(cur)
+			if err != nil {
+				return "", false, err
+			}
+			cur = next
+		case "break", "continue":
+			p.advance()
+			if len(p.loops) == 0 {
+				return "", false, p.errorf(t, "%s outside a loop", t.text)
+			}
+			top := p.loops[len(p.loops)-1]
+			target := top.breakTo
+			if t.text == "continue" {
+				target = top.continueTo
+			}
+			p.b.Edge(cur, target)
+			if nt := p.cur(); nt.kind != tokRBrace {
+				return "", false, p.errorf(nt, "unreachable statement after %s", t.text)
+			}
+			return "", true, nil
+		default:
+			if err := p.parseLangAssign(cur); err != nil {
+				return "", false, err
+			}
+		}
+	}
+}
+
+// langDecl adapts blockDecl so the nested-expression lowering can emit
+// decomposition assignments into the current builder block.
+func (p *langParser) lowerInto(cur string, f func(d *blockDecl) error) error {
+	var d blockDecl
+	if err := f(&d); err != nil {
+		return err
+	}
+	bb := p.b.Block(cur)
+	for _, in := range d.instrs {
+		bb.Instr(in)
+	}
+	return nil
+}
+
+func (p *langParser) parseLangAssign(cur string) error {
+	v, err := p.variable("assignment target")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokAssign, ":="); err != nil {
+		return err
+	}
+	return p.lowerInto(cur, func(d *blockDecl) error {
+		rhs, err := p.parseStmtTerm(d)
+		if err != nil {
+			return err
+		}
+		d.instrs = append(d.instrs, ir.NewAssign(v, rhs))
+		return nil
+	})
+}
+
+func (p *langParser) parseLangOut(cur string) error {
+	p.advance() // out
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return err
+	}
+	return p.lowerInto(cur, func(d *blockDecl) error {
+		var args []ir.Operand
+		if p.cur().kind != tokRParen {
+			for {
+				o, err := p.parseArgOperand(d)
+				if err != nil {
+					return err
+				}
+				args = append(args, o)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return err
+		}
+		d.instrs = append(d.instrs, ir.NewOut(args...))
+		return nil
+	})
+}
+
+// parseCond parses "expr relop expr" and appends the condition (plus any
+// decomposition assignments) to block cur.
+func (p *langParser) parseCond(cur string) error {
+	return p.lowerInto(cur, func(d *blockDecl) error {
+		l, err := p.parseStmtTerm(d)
+		if err != nil {
+			return err
+		}
+		opTok, err := p.expect(tokOp, "relational operator")
+		if err != nil {
+			return err
+		}
+		op := ir.Op(opTok.text)
+		if !op.IsRel() {
+			return p.errorf(opTok, "%q is not a relational operator", opTok.text)
+		}
+		r, err := p.parseStmtTerm(d)
+		if err != nil {
+			return err
+		}
+		d.instrs = append(d.instrs, ir.NewCond(op, l, r))
+		return nil
+	})
+}
+
+func (p *langParser) parseIf(cur string) (string, error) {
+	p.advance() // if
+	if err := p.parseCond(cur); err != nil {
+		return "", err
+	}
+	thenB := p.newBlock()
+	join := p.newBlock()
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return "", err
+	}
+	thenEnd, thenTerm, err := p.stmtList(thenB)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokRBrace, "}"); err != nil {
+		return "", err
+	}
+
+	elseTarget := join
+	if t := p.cur(); t.kind == tokIdent && t.text == "else" {
+		p.advance()
+		elseB := p.newBlock()
+		elseTarget = elseB
+		if _, err := p.expect(tokLBrace, "{"); err != nil {
+			return "", err
+		}
+		elseEnd, elseTerm, err := p.stmtList(elseB)
+		if err != nil {
+			return "", err
+		}
+		if _, err := p.expect(tokRBrace, "}"); err != nil {
+			return "", err
+		}
+		if !elseTerm {
+			p.b.Edge(elseEnd, join)
+		}
+	}
+	p.b.Edge(cur, thenB)
+	p.b.Edge(cur, elseTarget)
+	if !thenTerm {
+		p.b.Edge(thenEnd, join)
+	}
+	return join, nil
+}
+
+func (p *langParser) parseWhile(cur string) (string, error) {
+	p.advance() // while
+	hdr := p.newBlock()
+	p.b.Edge(cur, hdr)
+	if err := p.parseCond(hdr); err != nil {
+		return "", err
+	}
+	body := p.newBlock()
+	after := p.newBlock()
+	p.b.Edge(hdr, body)
+	p.b.Edge(hdr, after)
+
+	p.loops = append(p.loops, loopCtx{continueTo: hdr, breakTo: after})
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return "", err
+	}
+	bodyEnd, bodyTerm, err := p.stmtList(body)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokRBrace, "}"); err != nil {
+		return "", err
+	}
+	p.loops = p.loops[:len(p.loops)-1]
+	if !bodyTerm {
+		p.b.Edge(bodyEnd, hdr)
+	}
+	return after, nil
+}
+
+func (p *langParser) parseDoWhile(cur string) (string, error) {
+	p.advance() // do
+	body := p.newBlock()
+	cond := p.newBlock()
+	after := p.newBlock()
+	p.b.Edge(cur, body)
+
+	p.loops = append(p.loops, loopCtx{continueTo: cond, breakTo: after})
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return "", err
+	}
+	bodyEnd, bodyTerm, err := p.stmtList(body)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokRBrace, "}"); err != nil {
+		return "", err
+	}
+	p.loops = p.loops[:len(p.loops)-1]
+	if err := p.expectKeyword("while"); err != nil {
+		return "", err
+	}
+	if !bodyTerm {
+		p.b.Edge(bodyEnd, cond)
+	}
+	if err := p.parseCond(cond); err != nil {
+		return "", err
+	}
+	p.b.Edge(cond, body)
+	p.b.Edge(cond, after)
+	return after, nil
+}

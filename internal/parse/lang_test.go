@@ -1,0 +1,201 @@
+package parse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+)
+
+func runProg(t *testing.T, src string, env map[ir.Var]int64) interp.Result {
+	t.Helper()
+	g, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := g.Validate(); verr != nil {
+		t.Fatal(verr)
+	}
+	return interp.Run(g, env, 0)
+}
+
+func TestProgStraightLine(t *testing.T) {
+	r := runProg(t, `
+prog p {
+  x := a + b * 2
+  y := x - 1
+  out(x, y)
+}
+`, map[ir.Var]int64{"a": 1, "b": 3})
+	if !reflect.DeepEqual(r.Trace, []int64{7, 6}) {
+		t.Errorf("trace = %v", r.Trace)
+	}
+}
+
+func TestProgIfElse(t *testing.T) {
+	src := `
+prog p {
+  if x > 0 {
+    y := 1
+  } else {
+    y := 2
+  }
+  out(y)
+}
+`
+	if r := runProg(t, src, map[ir.Var]int64{"x": 5}); r.Trace[0] != 1 {
+		t.Errorf("then: %v", r.Trace)
+	}
+	if r := runProg(t, src, map[ir.Var]int64{"x": -5}); r.Trace[0] != 2 {
+		t.Errorf("else: %v", r.Trace)
+	}
+}
+
+func TestProgIfWithoutElse(t *testing.T) {
+	src := `
+prog p {
+  y := 9
+  if x > 0 {
+    y := 1
+  }
+  out(y)
+}
+`
+	if r := runProg(t, src, map[ir.Var]int64{"x": 5}); r.Trace[0] != 1 {
+		t.Errorf("then: %v", r.Trace)
+	}
+	if r := runProg(t, src, map[ir.Var]int64{"x": -5}); r.Trace[0] != 9 {
+		t.Errorf("skip: %v", r.Trace)
+	}
+}
+
+func TestProgWhile(t *testing.T) {
+	r := runProg(t, `
+prog p {
+  s := 0
+  i := 0
+  while i < 5 {
+    s := s + i
+    i := i + 1
+  }
+  out(s, i)
+}
+`, nil)
+	if !reflect.DeepEqual(r.Trace, []int64{10, 5}) {
+		t.Errorf("trace = %v", r.Trace)
+	}
+}
+
+func TestProgDoWhile(t *testing.T) {
+	// The body runs at least once even when the condition is false.
+	r := runProg(t, `
+prog p {
+  n := 0
+  do {
+    n := n + 1
+  } while n < 0
+  out(n)
+}
+`, nil)
+	if !reflect.DeepEqual(r.Trace, []int64{1}) {
+		t.Errorf("trace = %v", r.Trace)
+	}
+}
+
+func TestProgNestedLoopsBreakContinue(t *testing.T) {
+	r := runProg(t, `
+prog p {
+  total := 0
+  i := 0
+  while i < 4 {
+    i := i + 1
+    if i == 2 {
+      continue
+    }
+    j := 0
+    while j < 10 {
+      j := j + 1
+      if j == 3 {
+        break
+      }
+      total := total + 1
+    }
+  }
+  out(total, i)
+}
+`, nil)
+	// i = 1,3,4 contribute 2 inner iterations each (j=1,2); i=2 skipped.
+	if !reflect.DeepEqual(r.Trace, []int64{6, 4}) {
+		t.Errorf("trace = %v", r.Trace)
+	}
+}
+
+func TestProgNestedConditionExpr(t *testing.T) {
+	r := runProg(t, `
+prog p {
+  if a * 2 + 1 > b - 3 {
+    x := 1
+  } else {
+    x := 0
+  }
+  out(x)
+}
+`, map[ir.Var]int64{"a": 1, "b": 2})
+	if r.Trace[0] != 1 { // 3 > -1
+		t.Errorf("trace = %v", r.Trace)
+	}
+}
+
+func TestProgOutWithExpressions(t *testing.T) {
+	r := runProg(t, `
+prog p {
+  out(a + b, a * b, 7)
+}
+`, map[ir.Var]int64{"a": 2, "b": 5})
+	if !reflect.DeepEqual(r.Trace, []int64{7, 10, 7}) {
+		t.Errorf("trace = %v", r.Trace)
+	}
+}
+
+func TestProgErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"break outside loop", `prog p { break }`, "outside a loop"},
+		{"unreachable after break", `prog p { while x < 1 { break x := 1 } }`, "unreachable"},
+		{"bad cond", `prog p { if x { y := 1 } }`, "relational"},
+		{"missing brace", `prog p { if x > 0 { y := 1 }`, ""},
+		{"keyword var", `prog p { while := 3 }`, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseProgram(c.src)
+			if err == nil {
+				t.Fatalf("accepted %q", c.src)
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestProgProducesOptimizableGraphs(t *testing.T) {
+	// The desugared graph feeds straight into the optimizer; the
+	// loop-invariant division must leave the do-while loop.
+	g := MustParseProgram(`
+prog quantish {
+  k := 0
+  do {
+    scale := num / den
+    v := v * scale
+    k := k + 1
+  } while k < 6
+  out(v, k)
+}
+`)
+	g.MustValidate()
+	if len(g.Blocks) < 4 {
+		t.Errorf("suspiciously few blocks: %d", len(g.Blocks))
+	}
+}

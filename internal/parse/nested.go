@@ -1,0 +1,195 @@
+package parse
+
+import (
+	"fmt"
+	"strings"
+
+	"assignmentmotion/internal/ir"
+)
+
+// ParseNested parses a graph whose right-hand sides and condition sides
+// may be arbitrarily nested expressions with the usual precedence
+// ("*", "/", "%" bind tighter than "+", "-"; parentheses allowed) and
+// canonically decomposes them into 3-address form along the inductive
+// structure of the terms — the transformation of §6 / Figure 18:
+//
+//	x := a + b + c        ⇒   t1 := a + b
+//	                          x  := t1 + c
+//
+// Decomposition temporaries use a fresh identifier prefix that does not
+// collide with any identifier of the source program (preferring t1, t2,
+// …, as the paper writes them). Operands of out(...) may also be nested
+// and are reduced to variables the same way.
+func ParseNested(src string) (*ir.Graph, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	prefix := freshPrefix(toks)
+	p := &parser{toks: toks, opts: Options{}, nested: &nestedState{prefix: prefix}}
+	return p.parseGraph()
+}
+
+// MustParseNested is ParseNested that panics on error.
+func MustParseNested(src string) *ir.Graph {
+	g, err := ParseNested(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// nestedState carries the decomposition-temporary allocator. Temporaries
+// are memoized by sub-term spelling — the "special naming discipline" of
+// Briggs/Cooper that §6 mentions: syntactically identical sub-terms
+// always decompose through the same temporary, so the later phases see
+// them as one assignment pattern (each occurrence still carries its own
+// initialization; sharing is the optimizer's job).
+type nestedState struct {
+	prefix string
+	next   int
+	byTerm map[string]ir.Var
+}
+
+func (ns *nestedState) tempFor(key string) ir.Var {
+	if ns.byTerm == nil {
+		ns.byTerm = map[string]ir.Var{}
+	}
+	if v, ok := ns.byTerm[key]; ok {
+		return v
+	}
+	ns.next++
+	v := ir.Var(fmt.Sprintf("%s%d", ns.prefix, ns.next))
+	ns.byTerm[key] = v
+	return v
+}
+
+// freshPrefix picks a temp prefix not colliding with program identifiers:
+// the first of t, u, w, tmp whose digit-suffixed forms are unused.
+func freshPrefix(toks []token) string {
+	used := map[string]bool{}
+	for _, t := range toks {
+		if t.kind == tokIdent {
+			used[t.text] = true
+		}
+	}
+	for _, prefix := range []string{"t", "u", "w", "tmp", "dtmp"} {
+		ok := true
+		for id := range used {
+			if strings.HasPrefix(id, prefix) && allDigits(id[len(prefix):]) && len(id) > len(prefix) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return prefix
+		}
+	}
+	return "dtmp_"
+}
+
+func allDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// expr is a parse-time expression tree.
+type expr struct {
+	leaf ir.Operand // valid when l == nil
+	op   ir.Op
+	l, r *expr
+}
+
+// parseExpr parses a full-precedence expression (nested mode only).
+func (p *parser) parseExpr() (*expr, error) {
+	e, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			// A "-" directly followed by an integer could be either a
+			// binary minus or the start of something else; in expression
+			// position it is always binary here because unary minus is
+			// folded into integer literals by parseAtom.
+			p.advance()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			e = &expr{op: ir.Op(t.text), l: e, r: r}
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (p *parser) parseMul() (*expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokOp && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.advance()
+			r, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			e = &expr{op: ir.Op(t.text), l: e, r: r}
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (p *parser) parseAtom() (*expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		o, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{leaf: o}, nil
+	}
+}
+
+// lowerToTerm reduces e to a 3-address term (at most one operator),
+// appending decomposition assignments to d.
+func (p *parser) lowerToTerm(d *blockDecl, e *expr) ir.Term {
+	if e.l == nil {
+		return ir.OperandTerm(e.leaf)
+	}
+	lo := p.lowerToOperand(d, e.l)
+	ro := p.lowerToOperand(d, e.r)
+	return ir.BinTerm(e.op, lo, ro)
+}
+
+// lowerToOperand reduces e to a single operand, introducing a fresh
+// decomposition temporary when e is compound.
+func (p *parser) lowerToOperand(d *blockDecl, e *expr) ir.Operand {
+	if e.l == nil {
+		return e.leaf
+	}
+	t := p.lowerToTerm(d, e)
+	v := p.nested.tempFor(t.Key())
+	d.instrs = append(d.instrs, ir.NewAssign(v, t))
+	return ir.VarOp(v)
+}

@@ -1,0 +1,491 @@
+package parse
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"assignmentmotion/internal/ir"
+)
+
+// Options configure parsing.
+type Options struct {
+	// AllowTemps permits variables spelled like generated temporaries
+	// ("h" + digits). Source programs must not use them — the reserved
+	// spelling is what lets every phase recognize temporaries — but tests
+	// that describe intermediate (post-initialization) programs need them.
+	// Any such variable used as "hN := a op b" is registered as the
+	// temporary for that expression.
+	AllowTemps bool
+}
+
+// Parse parses a single graph from src.
+func Parse(src string) (*ir.Graph, error) {
+	return ParseWith(src, Options{})
+}
+
+// ParseWith parses a single graph from src with explicit options.
+func ParseWith(src string, opts Options) (*ir.Graph, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, opts: opts}
+	g, err := p.parseGraph()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseFile parses the graph in the named file.
+func ParseFile(path string) (*ir.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return g, nil
+}
+
+// MustParse parses src and panics on error; for tests and examples.
+func MustParse(src string) *ir.Graph {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MustParseTemps parses src with AllowTemps and panics on error.
+func MustParseTemps(src string) *ir.Graph {
+	g, err := ParseWith(src, Options{AllowTemps: true})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	opts Options
+	// nested, when non-nil, enables the full-precedence expression
+	// grammar with canonical 3-address decomposition (see ParseNested).
+	nested *nestedState
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, p.errorf(t, "expected %s, found %s", what, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errorf(t, "expected %q, found %s", kw, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident(what string) (token, error) {
+	t, err := p.expect(tokIdent, what)
+	if err != nil {
+		return t, err
+	}
+	if isKeyword(t.text) {
+		return t, p.errorf(t, "keyword %q cannot be used as %s", t.text, what)
+	}
+	return t, nil
+}
+
+// blockDecl is the parse-time form of a block before edge resolution.
+type blockDecl struct {
+	name   string
+	tok    token
+	instrs []ir.Instr
+	// terminator
+	gotoTarget string // "goto" target, or ""
+	condThen   string // "if" targets, or ""
+	condElse   string
+	termTok    token
+}
+
+func (p *parser) parseGraph() (*ir.Graph, error) {
+	if err := p.expectKeyword("graph"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.ident("graph name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return nil, err
+	}
+
+	var entry, exit string
+	var entryTok, exitTok token
+	var decls []*blockDecl
+	byName := map[string]*blockDecl{}
+
+	for p.cur().kind != tokRBrace {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return nil, p.errorf(t, "expected declaration, found %s", t)
+		}
+		switch t.text {
+		case "entry":
+			p.advance()
+			id, err := p.ident("entry block name")
+			if err != nil {
+				return nil, err
+			}
+			if entry != "" {
+				return nil, p.errorf(id, "duplicate entry declaration")
+			}
+			entry, entryTok = id.text, id
+		case "exit":
+			p.advance()
+			id, err := p.ident("exit block name")
+			if err != nil {
+				return nil, err
+			}
+			if exit != "" {
+				return nil, p.errorf(id, "duplicate exit declaration")
+			}
+			exit, exitTok = id.text, id
+		case "block":
+			d, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if byName[d.name] != nil {
+				return nil, p.errorf(d.tok, "duplicate block %q", d.name)
+			}
+			byName[d.name] = d
+			decls = append(decls, d)
+		default:
+			return nil, p.errorf(t, "expected entry, exit, or block, found %q", t.text)
+		}
+	}
+	p.advance() // }
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+
+	if entry == "" {
+		return nil, p.errorf(nameTok, "graph %q has no entry declaration", nameTok.text)
+	}
+	if exit == "" {
+		return nil, p.errorf(nameTok, "graph %q has no exit declaration", nameTok.text)
+	}
+	if byName[entry] == nil {
+		return nil, p.errorf(entryTok, "entry block %q not declared", entry)
+	}
+	if byName[exit] == nil {
+		return nil, p.errorf(exitTok, "exit block %q not declared", exit)
+	}
+
+	// Terminator discipline: the exit block flows nowhere; everything else
+	// must say where it goes.
+	for _, d := range decls {
+		isExit := d.name == exit
+		hasTerm := d.gotoTarget != "" || d.condThen != ""
+		if isExit && hasTerm {
+			return nil, p.errorf(d.termTok, "exit block %q must not have a terminator", d.name)
+		}
+		if !isExit && !hasTerm {
+			return nil, p.errorf(d.tok, "block %q has no goto or if terminator", d.name)
+		}
+	}
+
+	g := ir.NewGraph(nameTok.text)
+	ids := map[string]ir.NodeID{}
+	for _, d := range decls {
+		ids[d.name] = g.AddBlock(d.name).ID
+	}
+	resolve := func(d *blockDecl, target string) (ir.NodeID, error) {
+		id, ok := ids[target]
+		if !ok {
+			return 0, p.errorf(d.termTok, "block %q jumps to undeclared block %q", d.name, target)
+		}
+		return id, nil
+	}
+	for _, d := range decls {
+		blk := g.Block(ids[d.name])
+		blk.Instrs = d.instrs
+		switch {
+		case d.gotoTarget != "":
+			id, err := resolve(d, d.gotoTarget)
+			if err != nil {
+				return nil, err
+			}
+			g.AddEdge(blk.ID, id)
+		case d.condThen != "":
+			thenID, err := resolve(d, d.condThen)
+			if err != nil {
+				return nil, err
+			}
+			elseID, err := resolve(d, d.condElse)
+			if err != nil {
+				return nil, err
+			}
+			g.AddEdge(blk.ID, thenID)
+			g.AddEdge(blk.ID, elseID)
+		}
+	}
+	g.Entry, g.Exit = ids[entry], ids[exit]
+	g.Normalize()
+	if p.opts.AllowTemps {
+		if err := registerTemps(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph %q: %w", g.Name, err)
+	}
+	return g, nil
+}
+
+// registerTemps binds every assignment "hN := a op b" in g as the defining
+// instance of temporary hN, so that graphs describing intermediate
+// (post-initialization) programs carry a consistent temp registry.
+func registerTemps(g *ir.Graph) error {
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind != ir.KindAssign || !ir.IsTempName(in.LHS) || in.RHS.Trivial() {
+				continue
+			}
+			if prev, ok := g.TempExpr(in.LHS); ok && !prev.Equal(in.RHS) {
+				return fmt.Errorf("graph %q: temporary %s initialized with both %s and %s",
+					g.Name, in.LHS, prev, in.RHS)
+			}
+			g.RegisterTemp(in.LHS, in.RHS)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseBlock() (*blockDecl, error) {
+	if err := p.expectKeyword("block"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.ident("block name")
+	if err != nil {
+		return nil, err
+	}
+	d := &blockDecl{name: nameTok.text, tok: nameTok}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	for p.cur().kind != tokRBrace {
+		if d.gotoTarget != "" || d.condThen != "" {
+			return nil, p.errorf(p.cur(), "statement after terminator in block %q", d.name)
+		}
+		if err := p.parseStmt(d); err != nil {
+			return nil, err
+		}
+	}
+	p.advance() // }
+	return d, nil
+}
+
+func (p *parser) parseStmt(d *blockDecl) error {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return p.errorf(t, "expected statement, found %s", t)
+	}
+	switch t.text {
+	case "skip":
+		p.advance()
+		d.instrs = append(d.instrs, ir.Skip())
+		return nil
+	case "out":
+		p.advance()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return err
+		}
+		var args []ir.Operand
+		if p.cur().kind != tokRParen {
+			for {
+				o, err := p.parseArgOperand(d)
+				if err != nil {
+					return err
+				}
+				args = append(args, o)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return err
+		}
+		d.instrs = append(d.instrs, ir.NewOut(args...))
+		return nil
+	case "goto":
+		d.termTok = t
+		p.advance()
+		id, err := p.ident("goto target")
+		if err != nil {
+			return err
+		}
+		d.gotoTarget = id.text
+		return nil
+	case "if":
+		d.termTok = t
+		p.advance()
+		l, err := p.parseStmtTerm(d)
+		if err != nil {
+			return err
+		}
+		opTok, err := p.expect(tokOp, "relational operator")
+		if err != nil {
+			return err
+		}
+		op := ir.Op(opTok.text)
+		if !op.IsRel() {
+			return p.errorf(opTok, "%q is not a relational operator", opTok.text)
+		}
+		r, err := p.parseStmtTerm(d)
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return err
+		}
+		thenTok, err := p.ident("then target")
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("else"); err != nil {
+			return err
+		}
+		elseTok, err := p.ident("else target")
+		if err != nil {
+			return err
+		}
+		d.condThen, d.condElse = thenTok.text, elseTok.text
+		d.instrs = append(d.instrs, ir.NewCond(op, l, r))
+		return nil
+	default:
+		// assignment: IDENT := term
+		v, err := p.variable("assignment target")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokAssign, ":="); err != nil {
+			return err
+		}
+		rhs, err := p.parseStmtTerm(d)
+		if err != nil {
+			return err
+		}
+		d.instrs = append(d.instrs, ir.NewAssign(v, rhs))
+		return nil
+	}
+}
+
+// parseStmtTerm parses a right-hand side or condition side: a plain
+// 3-address term, or — in nested mode — a full expression that is lowered
+// to a term with decomposition assignments appended to d.
+func (p *parser) parseStmtTerm(d *blockDecl) (ir.Term, error) {
+	if p.nested == nil {
+		return p.parseTerm()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return ir.Term{}, err
+	}
+	return p.lowerToTerm(d, e), nil
+}
+
+// parseArgOperand parses an out(...) argument: a plain operand, or — in
+// nested mode — an expression reduced to an operand.
+func (p *parser) parseArgOperand(d *blockDecl) (ir.Operand, error) {
+	if p.nested == nil {
+		return p.parseOperand()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	return p.lowerToOperand(d, e), nil
+}
+
+// variable parses a variable name, enforcing the reserved temp spelling.
+func (p *parser) variable(what string) (ir.Var, error) {
+	t, err := p.ident(what)
+	if err != nil {
+		return "", err
+	}
+	v := ir.Var(t.text)
+	if ir.IsTempName(v) && !p.opts.AllowTemps {
+		return "", p.errorf(t, "variable %q uses the reserved temporary spelling h<digits>", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseTerm() (ir.Term, error) {
+	a, err := p.parseOperand()
+	if err != nil {
+		return ir.Term{}, err
+	}
+	t := p.cur()
+	if t.kind == tokOp && ir.Op(t.text).IsArith() {
+		p.advance()
+		b, err := p.parseOperand()
+		if err != nil {
+			return ir.Term{}, err
+		}
+		return ir.BinTerm(ir.Op(t.text), a, b), nil
+	}
+	return ir.OperandTerm(a), nil
+}
+
+func (p *parser) parseOperand() (ir.Operand, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return ir.Operand{}, p.errorf(t, "integer %q out of range", t.text)
+		}
+		return ir.ConstOp(n), nil
+	case t.kind == tokOp && t.text == "-":
+		p.advance()
+		it, err := p.expect(tokInt, "integer after unary -")
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		n, err := strconv.ParseInt("-"+it.text, 10, 64)
+		if err != nil {
+			return ir.Operand{}, p.errorf(it, "integer -%q out of range", it.text)
+		}
+		return ir.ConstOp(n), nil
+	case t.kind == tokIdent:
+		v, err := p.variable("operand")
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.VarOp(v), nil
+	}
+	return ir.Operand{}, p.errorf(t, "expected operand, found %s", t)
+}

@@ -1,0 +1,162 @@
+// Package paths implements the paper's path-based cost formalism
+// literally: for programs and paths p ∈ P[s,e], the occurrence counts
+// #(p_G, π) of a pattern π on p (§2), and the induced per-path comparison
+// underlying the optimality preorders of Definition 3.8.
+//
+// Two graphs related by EM/AM transformations have the same branch
+// structure along corresponding executions (motion never adds, removes,
+// or reorders branch conditions on a path), so a path is identified by
+// its sequence of branch decisions. Walking both graphs with the same
+// decision string therefore visits corresponding paths, and for loop-free
+// programs all paths can be enumerated exhaustively — giving an exact,
+// all-paths check of Theorem 5.2 instead of a sampled one.
+package paths
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/ir"
+)
+
+// Cost aggregates the static occurrence counts along one path.
+type Cost struct {
+	// Expressions is Σ_ε #(p, ε): occurrences of non-trivial terms.
+	Expressions int
+	// Assignments is Σ_α #(p, α): assignment instructions on the path.
+	Assignments int
+	// TempAssignments counts assignments whose target is a temporary.
+	TempAssignments int
+	// Blocks is the path length in blocks.
+	Blocks int
+}
+
+// Walk follows g from the entry, taking decisions[i] at the i-th branch
+// node encountered (true = first successor); a missing decision defaults
+// to false. It returns the accumulated static cost. maxBlocks bounds the
+// walk so that cyclic graphs cannot loop forever; the bool result is
+// false when the bound was hit before reaching the exit.
+func Walk(g *ir.Graph, decisions []bool, maxBlocks int) (Cost, bool) {
+	if maxBlocks <= 0 {
+		maxBlocks = 4 * len(g.Blocks)
+	}
+	var c Cost
+	cur := g.Entry
+	branch := 0
+	var terms []ir.Term
+	for {
+		if c.Blocks >= maxBlocks {
+			return c, false
+		}
+		b := g.Block(cur)
+		c.Blocks++
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Kind == ir.KindAssign {
+				c.Assignments++
+				if g.IsTemp(in.LHS) {
+					c.TempAssignments++
+				}
+			}
+			terms = in.Terms(terms[:0])
+			for _, t := range terms {
+				if !t.Trivial() {
+					c.Expressions++
+				}
+			}
+		}
+		switch len(b.Succs) {
+		case 0:
+			return c, true
+		case 1:
+			cur = b.Succs[0]
+		case 2:
+			take := false
+			if branch < len(decisions) {
+				take = decisions[branch]
+			}
+			branch++
+			if take {
+				cur = b.Succs[0]
+			} else {
+				cur = b.Succs[1]
+			}
+		default:
+			panic(fmt.Sprintf("paths: block %s has %d successors", b.Name, len(b.Succs)))
+		}
+	}
+}
+
+// Acyclic reports whether g contains no cycle.
+func Acyclic(g *ir.Graph) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var visit func(ir.NodeID) bool
+	visit = func(n ir.NodeID) bool {
+		switch color[n] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		color[n] = grey
+		for _, s := range g.Block(n).Succs {
+			if !visit(s) {
+				return false
+			}
+		}
+		color[n] = black
+		return true
+	}
+	return visit(g.Entry)
+}
+
+// Enumerate returns the decision strings of all s→e paths of an acyclic
+// graph, up to max (0 = unlimited). It panics on cyclic graphs — use
+// Walk with explicit decisions there.
+func Enumerate(g *ir.Graph, max int) [][]bool {
+	if !Acyclic(g) {
+		panic("paths: Enumerate on cyclic graph")
+	}
+	var out [][]bool
+	var walk func(n ir.NodeID, decisions []bool)
+	walk = func(n ir.NodeID, decisions []bool) {
+		if max > 0 && len(out) >= max {
+			return
+		}
+		b := g.Block(n)
+		switch len(b.Succs) {
+		case 0:
+			out = append(out, append([]bool(nil), decisions...))
+		case 1:
+			walk(b.Succs[0], decisions)
+		case 2:
+			walk(b.Succs[0], append(decisions, true))
+			walk(b.Succs[1], append(decisions, false))
+		}
+	}
+	walk(g.Entry, nil)
+	return out
+}
+
+// DominatesOnAllPaths reports whether, on every corresponding path of the
+// acyclic graphs a and b (identified by branch decisions), a's expression
+// count is ≤ b's. It returns a description of the first violating path
+// otherwise.
+func DominatesOnAllPaths(a, b *ir.Graph, max int) (bool, string) {
+	decs := Enumerate(b, max)
+	for _, d := range decs {
+		ca, oka := Walk(a, d, 0)
+		cb, okb := Walk(b, d, 0)
+		if !oka || !okb {
+			return false, fmt.Sprintf("walk bound hit on decisions %v", d)
+		}
+		if ca.Expressions > cb.Expressions {
+			return false, fmt.Sprintf("decisions %v: %d > %d expressions", d, ca.Expressions, cb.Expressions)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,230 @@
+// Package pde implements partial dead code elimination in the style of
+// Knoop/Rüthing/Steffen's companion paper [17], which this paper's
+// hoistability analysis is the stated dual of (§4.3.2): assignments are
+// *sunk* as far as possible in the direction of control flow to their
+// latest safe program points, and assignments that thereby become fully
+// dead are removed by strong-liveness dead code elimination. Iterating the
+// two steps eliminates partially dead assignments — code executed on paths
+// that never use its result.
+//
+// The sinkability analysis is the literal mirror image of Table 1:
+//
+//	N-SINKABLE_n = false                            if n = s
+//	             = ∏_{m ∈ pred(n)} X-SINKABLE_m     otherwise
+//	X-SINKABLE_n = LOC-SINKABLE_n + N-SINKABLE_n · ¬LOC-BLOCKED_n
+//
+//	N-INSERT_n = N-SINKABLE*_n · LOC-BLOCKED_n
+//	X-INSERT_n = X-SINKABLE*_n · (n = e + Σ_{m ∈ succ(n)} ¬N-SINKABLE*_m)
+//
+// where a sinking candidate is the LAST occurrence of a pattern in a block
+// not followed by a blocking instruction, and blocking is the same notion
+// as for hoisting (the relation is symmetric).
+//
+// CAUTION: unlike assignment motion, partial dead code elimination is not
+// semantics-preserving in the paper's strict sense — removing a dead
+// assignment removes potential run-time errors of its right-hand side
+// (§3, footnote 3). Under this module's total interpreter semantics it is
+// observationally safe; it is offered as an opt-in companion pass, never
+// as part of a paper pipeline.
+package pde
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/dce"
+	"assignmentmotion/internal/ir"
+)
+
+// Info holds the sinkability analysis result, indexed by block ID.
+type Info struct {
+	U *ir.PatternSet
+
+	LocSinkable []bitvec.Vec
+	LocBlocked  []bitvec.Vec
+	NSinkable   []bitvec.Vec
+	XSinkable   []bitvec.Vec
+	NInsert     []bitvec.Vec
+	XInsert     []bitvec.Vec
+
+	// candidates[block][patternID] is the instruction index of the
+	// block's sinking candidate of that pattern.
+	candidates []map[int]int
+}
+
+// sinkCandidateIndex returns the index of the sinking candidate of p in b:
+// the last occurrence of p not followed (within the block) by a blocking
+// instruction. At most one exists, because an occurrence blocks every
+// earlier one.
+func sinkCandidateIndex(b *ir.Block, p *ir.AssignPattern) (int, bool) {
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := &b.Instrs[i]
+		if analysis.Executed(in, p) {
+			return i, true
+		}
+		if analysis.BlocksPattern(in, p) {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Analyze computes the sinkability analysis and insertion points for g.
+func Analyze(g *ir.Graph) *Info {
+	u := ir.AssignUniverse(g)
+	px := analysis.NewPatternIndex(u)
+	n, bits := len(g.Blocks), u.Len()
+	info := &Info{
+		U:           u,
+		LocSinkable: make([]bitvec.Vec, n),
+		LocBlocked:  make([]bitvec.Vec, n),
+		candidates:  make([]map[int]int, n),
+	}
+	for i, b := range g.Blocks {
+		info.LocSinkable[i], info.LocBlocked[i], info.candidates[i] = px.BlockLocalsReverse(b)
+	}
+
+	entry := int(g.Entry)
+	res := dataflow.Solve(dataflow.Problem{
+		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
+		Preds: func(i int) []int { return nodeIDs(g.Blocks[i].Preds) },
+		Succs: func(i int) []int { return nodeIDs(g.Blocks[i].Succs) },
+		// Forward: solver "in" is the fact at the block entry
+		// (N-SINKABLE), "out" at its exit (X-SINKABLE).
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(info.LocBlocked[i])
+			out.Or(info.LocSinkable[i])
+		},
+		Boundary: func(i int, in bitvec.Vec) {
+			if i == entry {
+				in.ClearAll()
+			}
+		},
+	})
+	info.NSinkable = res.In
+	info.XSinkable = res.Out
+
+	info.NInsert = make([]bitvec.Vec, n)
+	info.XInsert = make([]bitvec.Vec, n)
+	for i, b := range g.Blocks {
+		ni := info.NSinkable[i].Copy()
+		ni.And(info.LocBlocked[i])
+		info.NInsert[i] = ni
+
+		xi := info.XSinkable[i].Copy()
+		if b.ID != g.Exit {
+			frontier := bitvec.New(bits)
+			for _, m := range b.Succs {
+				notN := info.NSinkable[int(m)].Copy()
+				notN.Not()
+				frontier.Or(notN)
+			}
+			xi.And(frontier)
+		}
+		info.XInsert[i] = xi
+	}
+	return info
+}
+
+func nodeIDs(ids []ir.NodeID) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// Sink performs one sinking step on g: it inserts instances at all
+// insertion points and removes every sinking candidate. It reports whether
+// the program changed. Critical edges must be split (X-INSERT at a branch
+// node is realized at the entries of its successors).
+func Sink(g *ir.Graph) bool {
+	before := g.Encode()
+	info := Analyze(g)
+
+	prepend := make([][]ir.Instr, len(g.Blocks))
+	appendAtEnd := make([][]ir.Instr, len(g.Blocks))
+
+	for i, b := range g.Blocks {
+		if info.XInsert[i].Any() {
+			instrs := patternsToInstrs(info.U, info.XInsert[i])
+			if _, branch := b.Cond(); branch {
+				for _, s := range b.Succs {
+					if len(g.Block(s).Preds) != 1 {
+						panic(fmt.Sprintf("pde: X-INSERT at branch node %s with unsplit critical edge", b.Name))
+					}
+					prepend[int(s)] = append(prepend[int(s)], instrs...)
+				}
+			} else {
+				appendAtEnd[i] = append(appendAtEnd[i], instrs...)
+			}
+		}
+	}
+	for i := range g.Blocks {
+		if info.NInsert[i].Any() {
+			// Sunk instances stop just above this (blocked) block: they
+			// execute before anything already at the block entry.
+			prepend[i] = append(patternsToInstrs(info.U, info.NInsert[i]), prepend[i]...)
+		}
+	}
+
+	for i, b := range g.Blocks {
+		drop := map[int]bool{}
+		info.LocSinkable[i].ForEach(func(id int) {
+			drop[info.candidates[i][id]] = true
+		})
+		next := make([]ir.Instr, 0, len(prepend[i])+len(b.Instrs)+len(appendAtEnd[i]))
+		next = append(next, prepend[i]...)
+		for k, in := range b.Instrs {
+			if !drop[k] {
+				next = append(next, in)
+			}
+		}
+		next = append(next, appendAtEnd[i]...)
+		b.Instrs = next
+	}
+	g.Normalize()
+	return g.Encode() != before
+}
+
+// Stats reports what one pde run did.
+type Stats struct {
+	// Iterations is the number of sink+dce rounds.
+	Iterations int
+	// Removed is the number of assignments removed as dead.
+	Removed int
+}
+
+// Run applies partial dead code elimination: critical edges are split,
+// then sinking and strong-liveness dead code elimination alternate until
+// the program stabilizes.
+func Run(g *ir.Graph) Stats {
+	var st Stats
+	g.SplitCriticalEdges()
+	n := g.InstrCount() + len(g.Blocks)
+	limit := 4*n*n + 64
+	for {
+		st.Iterations++
+		if st.Iterations > limit {
+			panic(fmt.Sprintf("pde: no fixpoint after %d iterations", limit))
+		}
+		before := g.Encode()
+		Sink(g)
+		st.Removed += dce.Run(g)
+		if g.Encode() == before {
+			return st
+		}
+	}
+}
+
+func patternsToInstrs(u *ir.PatternSet, v bitvec.Vec) []ir.Instr {
+	var out []ir.Instr
+	v.ForEach(func(id int) {
+		p := u.Pattern(id)
+		out = append(out, ir.NewAssign(p.LHS, p.RHS))
+	})
+	return out
+}

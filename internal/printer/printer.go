@@ -1,0 +1,109 @@
+// Package printer renders flow graphs back into the ".fg" source language
+// (round-trippable through internal/parse) and into Graphviz dot for
+// visual inspection of transformation results.
+package printer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"assignmentmotion/internal/ir"
+)
+
+// Fprint writes g in .fg syntax to w. The output parses back (with
+// AllowTemps) to a graph with the same Encode() value.
+func Fprint(w io.Writer, g *ir.Graph) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %s {\n", g.Name)
+	fmt.Fprintf(&sb, "  entry %s\n", g.EntryBlock().Name)
+	fmt.Fprintf(&sb, "  exit %s\n", g.ExitBlock().Name)
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "  block %s {\n", b.Name)
+		for _, in := range b.Instrs {
+			switch in.Kind {
+			case ir.KindSkip:
+				// A lone skip keeps otherwise-empty blocks parseable;
+				// skips next to real instructions are not printed.
+				if len(b.Instrs) == 1 {
+					sb.WriteString("    skip\n")
+				}
+			case ir.KindAssign:
+				fmt.Fprintf(&sb, "    %s := %s\n", in.LHS, formatTerm(in.RHS))
+			case ir.KindOut:
+				args := make([]string, len(in.Args))
+				for i, o := range in.Args {
+					args[i] = o.Key()
+				}
+				fmt.Fprintf(&sb, "    out(%s)\n", strings.Join(args, ", "))
+			case ir.KindCond:
+				fmt.Fprintf(&sb, "    if %s %s %s then %s else %s\n",
+					formatTerm(in.CondL), in.CondOp, formatTerm(in.CondR),
+					g.Block(b.Succs[0]).Name, g.Block(b.Succs[1]).Name)
+			}
+		}
+		if _, hasCond := b.Cond(); !hasCond && len(b.Succs) == 1 {
+			fmt.Fprintf(&sb, "    goto %s\n", g.Block(b.Succs[0]).Name)
+		}
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders g in .fg syntax.
+func String(g *ir.Graph) string {
+	var sb strings.Builder
+	if err := Fprint(&sb, g); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return sb.String()
+}
+
+func formatTerm(t ir.Term) string {
+	if t.Trivial() {
+		return t.Args[0].Key()
+	}
+	return fmt.Sprintf("%s %s %s", t.Args[0].Key(), t.Op, t.Args[1].Key())
+}
+
+// Dot renders g as a Graphviz digraph. Blocks become record-shaped nodes
+// listing their instructions; branch edges are labelled T/F.
+func Dot(g *ir.Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, b := range g.Blocks {
+		var lines []string
+		lines = append(lines, b.Name)
+		for _, in := range b.Instrs {
+			lines = append(lines, in.String())
+		}
+		label := strings.Join(lines, "\\l") + "\\l"
+		attrs := ""
+		if b.ID == g.Entry {
+			attrs = ", penwidth=2"
+		}
+		if b.ID == g.Exit {
+			attrs = ", peripheries=2"
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\"%s];\n", b.Name, label, attrs)
+	}
+	for _, b := range g.Blocks {
+		_, branch := b.Cond()
+		for i, s := range b.Succs {
+			label := ""
+			if branch {
+				if i == 0 {
+					label = " [label=\"T\"]"
+				} else {
+					label = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n", b.Name, g.Block(s).Name, label)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

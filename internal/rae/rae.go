@@ -1,0 +1,118 @@
+// Package rae implements redundant assignment elimination — procedure
+// "rae" of the paper's assignment motion phase (Table 2).
+//
+// An occurrence of an assignment pattern α ≡ v := t is redundant if every
+// path from s to it passes another occurrence of α with neither v nor an
+// operand of t modified in between (Definition 3.4). Redundancy is computed
+// by a forward bit-vector analysis over instructions:
+//
+//	N-REDUNDANT(ι) = false                       if ι = ι_s
+//	               = ∏_{ι' ∈ pred(ι)} X-REDUNDANT(ι')   otherwise
+//	X-REDUNDANT(ι) = GEN(ι) + ASS-TRANSP(ι) · N-REDUNDANT(ι)
+//
+// where GEN(ι,α) holds when ι is an occurrence of α and α is not
+// self-referential (for x := x+1 the execution itself invalidates the
+// association — the side condition of Table 2). The published equation
+// reads ASS-TRANSP · (EXECUTED + N-REDUNDANT); taken literally that would
+// never generate redundancy because an occurrence of α modifies v and so is
+// not transparent for α. The availability form above is the intended
+// reading (see DESIGN.md).
+package rae
+
+import (
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/ir"
+)
+
+// Info holds the analysis result.
+type Info struct {
+	Prog *analysis.Prog
+	U    *ir.PatternSet
+	// NRedundant[i] is the redundancy vector at the entry of instruction i
+	// (global index in Prog); XRedundant[i] at its exit.
+	NRedundant []bitvec.Vec
+	XRedundant []bitvec.Vec
+}
+
+// Analyze computes the redundancy analysis for g.
+func Analyze(g *ir.Graph) *Info {
+	prog := analysis.NewProg(g)
+	u := ir.AssignUniverse(g)
+	px := analysis.NewPatternIndex(u)
+	n, bits := prog.Len(), u.Len()
+
+	// Per-instruction GEN (the occurrence's own pattern, unless
+	// self-referential) as a single bit index; transparency is applied via
+	// the index's shared kill vectors.
+	genID := make([]int, n)
+	selfRef := px.SelfRef()
+	for i := 0; i < n; i++ {
+		genID[i] = -1
+		if id, ok := px.OccID(&prog.Ins[i]); ok && !selfRef.Get(id) {
+			genID[i] = id
+		}
+	}
+
+	entry := prog.EntryIndex()
+	res := dataflow.Solve(dataflow.Problem{
+		N:     n,
+		Bits:  bits,
+		Dir:   dataflow.Forward,
+		Meet:  dataflow.All,
+		Preds: prog.Preds,
+		Succs: prog.Succs,
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			px.AndNotKill(&prog.Ins[i], out)
+			if genID[i] >= 0 {
+				out.Set(genID[i])
+			}
+		},
+		Boundary: func(i int, in bitvec.Vec) {
+			if i == entry {
+				in.ClearAll()
+			}
+		},
+	})
+	return &Info{Prog: prog, U: u, NRedundant: res.In, XRedundant: res.Out}
+}
+
+// Eliminate applies the elimination step: it removes every assignment that
+// is redundant at its entry and returns the number of removed occurrences.
+// The graph is re-normalized, so blocks never become empty.
+func Eliminate(g *ir.Graph) int {
+	return EliminateMasked(g, nil)
+}
+
+// EliminateMasked is Eliminate restricted to the assignment patterns
+// accepted by mask (nil accepts all). The expression-motion baseline uses
+// this to eliminate only redundant temporary initializations h_ε := ε.
+func EliminateMasked(g *ir.Graph, mask func(ir.AssignPattern) bool) int {
+	info := Analyze(g)
+	removed := 0
+	idx := 0
+	for _, b := range g.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			drop := false
+			if in.Kind == ir.KindAssign {
+				p := in.Pattern()
+				if id, ok := info.U.ID(p); ok && info.NRedundant[idx].Get(id) &&
+					(mask == nil || mask(p)) {
+					drop = true
+				}
+			}
+			if drop {
+				removed++
+			} else {
+				kept = append(kept, in)
+			}
+			idx++
+		}
+		b.Instrs = kept
+	}
+	g.Normalize()
+	return removed
+}

@@ -1,0 +1,68 @@
+// Package verify provides the semantics-preservation oracle used by the
+// property tests and experiments: two programs are deemed equivalent when
+// they produce identical out-traces on a shared ensemble of random
+// environments (Theorem 5.1 checks, S1 in DESIGN.md).
+package verify
+
+import (
+	"fmt"
+
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/metrics"
+)
+
+// Report describes an equivalence check.
+type Report struct {
+	Equivalent bool
+	// Runs is the number of environments compared.
+	Runs int
+	// Detail describes the first divergence, if any.
+	Detail string
+	// A and B aggregate the dynamic costs observed, usable for
+	// optimality comparisons on top of the equivalence check.
+	A, B metrics.Dynamic
+}
+
+// Equivalent runs a and b on `runs` random environments derived from seed
+// and compares traces. Environments range over the union of both programs'
+// source variables so that renamed/retargeted temporaries do not perturb
+// the inputs.
+func Equivalent(a, b *ir.Graph, runs int, seed int64) Report {
+	vars := unionSourceVars(a, b)
+	envs := metrics.RandomEnvs(vars, runs, seed)
+	rep := Report{Equivalent: true, Runs: runs}
+	for i, env := range envs {
+		ra := interp.Run(a, env, 0)
+		rb := interp.Run(b, env, 0)
+		rep.A.Add(ra)
+		rep.B.Add(rb)
+		if !interp.TraceEqual(ra, rb) {
+			rep.Equivalent = false
+			rep.Detail = fmt.Sprintf("env %d (%v): trace %v vs %v", i, env, head(ra.Trace), head(rb.Trace))
+			return rep
+		}
+	}
+	return rep
+}
+
+func head(t []int64) []int64 {
+	if len(t) > 12 {
+		return t[:12]
+	}
+	return t
+}
+
+func unionSourceVars(a, b *ir.Graph) []ir.Var {
+	seen := map[ir.Var]bool{}
+	var out []ir.Var
+	for _, g := range []*ir.Graph{a, b} {
+		for _, v := range g.SourceVars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
