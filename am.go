@@ -25,6 +25,7 @@
 package assignmentmotion
 
 import (
+	"context"
 	"fmt"
 
 	"assignmentmotion/internal/am"
@@ -32,6 +33,7 @@ import (
 	"assignmentmotion/internal/copyprop"
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/dce"
+	"assignmentmotion/internal/engine"
 	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/interp"
 	"assignmentmotion/internal/ir"
@@ -103,6 +105,36 @@ type Result = core.Result
 // EM and AM transformations (Theorem 5.2) and relatively assignment- and
 // temporary-optimal (Theorems 5.3, 5.4).
 func Optimize(g *Graph) Result { return core.Optimize(g) }
+
+// BatchOptions tune OptimizeBatch: worker parallelism (default
+// GOMAXPROCS), a per-graph timeout, and the result cache size.
+type BatchOptions = engine.Options
+
+// BatchReport aggregates one OptimizeBatch run: success/failure counts,
+// cache hits and misses, per-phase wall time, AM iteration totals, and
+// the per-graph results in input order.
+type BatchReport = engine.Report
+
+// BatchResult is the outcome of a single graph within a batch.
+type BatchResult = engine.GraphResult
+
+// BatchEngine is a reusable concurrent optimizer whose content-addressed
+// result cache persists across batches. Construct with NewBatchEngine.
+type BatchEngine = engine.Engine
+
+// NewBatchEngine returns a reusable batch optimizer with the given
+// options.
+func NewBatchEngine(opts BatchOptions) *BatchEngine { return engine.New(opts) }
+
+// OptimizeBatch runs the full three-phase global algorithm over many
+// graphs concurrently: a worker pool of opts.Parallelism goroutines,
+// per-graph panic recovery and deadlines, and a content-addressed result
+// cache keyed by Graph.Fingerprint so duplicate graphs are optimized
+// once. Inputs are never mutated; each BatchResult carries an optimized
+// clone. Cancel ctx to abandon the remainder of a batch.
+func OptimizeBatch(ctx context.Context, graphs []*Graph, opts BatchOptions) BatchReport {
+	return engine.OptimizeBatch(ctx, graphs, opts)
+}
 
 // Pass names an individual transformation for Apply.
 type Pass string

@@ -9,13 +9,16 @@ package assignmentmotion
 // motion, and the final flush.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"assignmentmotion/internal/aht"
 	"assignmentmotion/internal/am"
 	"assignmentmotion/internal/cfggen"
 	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/engine"
 	"assignmentmotion/internal/figures"
 	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/interp"
@@ -255,6 +258,93 @@ func BenchmarkTidy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		base.Clone().Tidy()
+	}
+}
+
+// benchBatch builds the 100-graph workload of the batch-engine rows
+// (BENCH_engine.json): distinct random structured programs.
+func benchBatch() []*ir.Graph {
+	graphs := make([]*ir.Graph, 100)
+	for i := range graphs {
+		graphs[i] = cfggen.Structured(int64(i), cfggen.Config{Size: 12})
+	}
+	return graphs
+}
+
+// BenchmarkBatchSerialVsParallel is experiment E1: the batch engine over
+// a 100-graph batch with one worker vs one worker per core, caching
+// disabled so both rows measure pure optimization throughput. On a
+// multi-core host the parallel row must beat serial by roughly the core
+// count (the jobs are independent); on a single-core host the rows tie.
+func BenchmarkBatchSerialVsParallel(b *testing.B) {
+	graphs := benchBatch()
+	ctx := context.Background()
+	for _, row := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(row.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := engine.OptimizeBatch(ctx, graphs, engine.Options{
+					Parallelism: row.workers,
+					CacheSize:   -1,
+				})
+				if rep.Failed != 0 {
+					b.Fatalf("failures: %+v", rep)
+				}
+			}
+			b.ReportMetric(float64(len(graphs)), "graphs")
+		})
+	}
+}
+
+// BenchmarkBatchColdVsWarmCache is experiment E2: the same 100-graph
+// batch against a cold cache (every graph optimized) and against a
+// pre-warmed engine (every graph a content-addressed cache hit). Warm
+// runs must be far faster than cold ones.
+func BenchmarkBatchColdVsWarmCache(b *testing.B) {
+	graphs := benchBatch()
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.Options{Parallelism: workers})
+			rep := e.OptimizeBatch(ctx, graphs)
+			if rep.Failed != 0 || rep.CacheHits != 0 {
+				b.Fatalf("cold run: %+v", rep)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		e := engine.New(engine.Options{Parallelism: workers})
+		if rep := e.OptimizeBatch(ctx, graphs); rep.Failed != 0 {
+			b.Fatalf("warm-up: %+v", rep)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := e.OptimizeBatch(ctx, graphs)
+			if rep.Failed != 0 || rep.CacheHits != len(graphs) {
+				b.Fatalf("warm run: %+v", rep)
+			}
+		}
+	})
+}
+
+// BenchmarkFingerprint measures the content-address hash that keys the
+// engine's result cache.
+func BenchmarkFingerprint(b *testing.B) {
+	g := cfggen.Structured(1, cfggen.Config{Size: 40})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Fingerprint()
 	}
 }
 

@@ -1,0 +1,239 @@
+package main
+
+// Batch mode: amopt pointed at several .fg files or at directories runs
+// the concurrent engine (assignmentmotion.OptimizeBatch) instead of the
+// single-file pipeline. Batch mode always runs the full global algorithm;
+// custom -pass pipelines remain a single-file feature.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"assignmentmotion"
+)
+
+// batchInputs decides whether the positional arguments select batch mode
+// (more than one path, or any path that is a directory) and expands
+// directories into their .fg files, sorted.
+func batchInputs(args []string, figure string, random int64) (bool, []string, error) {
+	if figure != "" || random >= 0 {
+		return false, nil, nil
+	}
+	hasDir := false
+	for _, a := range args {
+		if a == "-" {
+			continue
+		}
+		if info, err := os.Stat(a); err == nil && info.IsDir() {
+			hasDir = true
+		}
+	}
+	if len(args) <= 1 && !hasDir {
+		return false, nil, nil
+	}
+	var files []string
+	for _, a := range args {
+		if a == "-" {
+			return true, nil, fmt.Errorf("stdin (\"-\") is not supported in batch mode")
+		}
+		info, err := os.Stat(a)
+		if err != nil {
+			return true, nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		entries, err := os.ReadDir(a)
+		if err != nil {
+			return true, nil, err
+		}
+		var found []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".fg") {
+				found = append(found, filepath.Join(a, e.Name()))
+			}
+		}
+		if len(found) == 0 {
+			return true, nil, fmt.Errorf("%s: no .fg files", a)
+		}
+		sort.Strings(found)
+		files = append(files, found...)
+	}
+	return true, files, nil
+}
+
+type batchConfig struct {
+	passSpec string
+	nested   bool
+	prog     bool
+	parallel int
+	timeout  time.Duration
+	verify   int
+	stats    bool
+	json     bool
+	dot      bool
+	run      string
+}
+
+type batchGraphJSON struct {
+	Name         string `json:"name"`
+	File         string `json:"file"`
+	Error        string `json:"error,omitempty"`
+	CacheHit     bool   `json:"cacheHit"`
+	AMIterations int    `json:"amIterations"`
+	Wall         string `json:"wall"`
+	Verified     int    `json:"verifiedInputs,omitempty"`
+	Program      string `json:"program,omitempty"`
+}
+
+type batchJSON struct {
+	Graphs       int              `json:"graphs"`
+	Succeeded    int              `json:"succeeded"`
+	Failed       int              `json:"failed"`
+	CacheHits    int              `json:"cacheHits"`
+	CacheMisses  int              `json:"cacheMisses"`
+	Parallelism  int              `json:"parallelism"`
+	Wall         string           `json:"wall"`
+	PhaseInit    string           `json:"phaseInit"`
+	PhaseAM      string           `json:"phaseAm"`
+	PhaseFlush   string           `json:"phaseFlush"`
+	AMIterations int              `json:"amIterations"`
+	MaxAMIters   int              `json:"maxAmIterations"`
+	Results      []batchGraphJSON `json:"results"`
+}
+
+func runBatch(files []string, cfg batchConfig, out io.Writer) error {
+	if cfg.dot {
+		return fmt.Errorf("-dot is not supported in batch mode")
+	}
+	if cfg.run != "" {
+		return fmt.Errorf("-run is not supported in batch mode")
+	}
+	for _, name := range strings.Split(cfg.passSpec, ",") {
+		switch strings.TrimSpace(name) {
+		case "", "none", "globalg":
+		default:
+			return fmt.Errorf("batch mode always runs the global algorithm; -pass %q is a single-file feature", cfg.passSpec)
+		}
+	}
+
+	graphs := make([]*assignmentmotion.Graph, len(files))
+	for i, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var g *assignmentmotion.Graph
+		switch {
+		case cfg.prog:
+			g, err = assignmentmotion.ParseProgram(string(data))
+		case cfg.nested:
+			g, err = assignmentmotion.ParseNested(string(data))
+		default:
+			g, err = assignmentmotion.Parse(string(data))
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		graphs[i] = g
+	}
+
+	rep := assignmentmotion.OptimizeBatch(context.Background(), graphs, assignmentmotion.BatchOptions{
+		Parallelism: cfg.parallel,
+		Timeout:     cfg.timeout,
+	})
+
+	// Optional per-graph differential verification against the originals
+	// (the engine never mutates its inputs, so graphs[i] is pristine).
+	verified := make([]int, len(files))
+	var verr error
+	if cfg.verify > 0 {
+		for i, r := range rep.Results {
+			if r.Err != nil {
+				continue
+			}
+			vrep := assignmentmotion.Equivalent(graphs[i], r.Graph, cfg.verify, 1)
+			if !vrep.Equivalent {
+				verr = fmt.Errorf("%s: semantics changed: %s", files[i], vrep.Detail)
+				break
+			}
+			verified[i] = vrep.Runs
+		}
+		if verr != nil {
+			return verr
+		}
+	}
+
+	if cfg.json {
+		j := batchJSON{
+			Graphs:       rep.Graphs,
+			Succeeded:    rep.Succeeded,
+			Failed:       rep.Failed,
+			CacheHits:    rep.CacheHits,
+			CacheMisses:  rep.CacheMisses,
+			Parallelism:  rep.Parallelism,
+			Wall:         rep.Wall.String(),
+			PhaseInit:    rep.Phase.Init.String(),
+			PhaseAM:      rep.Phase.AM.String(),
+			PhaseFlush:   rep.Phase.Flush.String(),
+			AMIterations: rep.AMIterations,
+			MaxAMIters:   rep.MaxAMIterations,
+		}
+		for i, r := range rep.Results {
+			gj := batchGraphJSON{
+				Name:         r.Name,
+				File:         files[i],
+				CacheHit:     r.CacheHit,
+				AMIterations: r.Result.AM.Iterations,
+				Wall:         r.Timings.Total.String(),
+				Verified:     verified[i],
+			}
+			if r.Err != nil {
+				gj.Error = r.Err.Error()
+			} else {
+				gj.Program = assignmentmotion.Format(r.Graph)
+			}
+			j.Results = append(j.Results, gj)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	} else {
+		for i, r := range rep.Results {
+			status := "ok"
+			if r.Err != nil {
+				status = "ERROR: " + r.Err.Error()
+			}
+			cache := "miss"
+			if r.CacheHit {
+				cache = "hit"
+			}
+			fmt.Fprintf(out, "# %-24s %-40s %s wall=%v am-iters=%d cache=%s\n",
+				r.Name, files[i], status, r.Timings.Total.Round(time.Microsecond), r.Result.AM.Iterations, cache)
+		}
+		if cfg.stats {
+			fmt.Fprintf(out, "# batch: %d graphs, %d ok, %d failed, %d cache hits, %d misses, parallelism %d\n",
+				rep.Graphs, rep.Succeeded, rep.Failed, rep.CacheHits, rep.CacheMisses, rep.Parallelism)
+			fmt.Fprintf(out, "# phase wall: init=%v am=%v flush=%v (sum %v across workers)\n",
+				rep.Phase.Init.Round(time.Microsecond), rep.Phase.AM.Round(time.Microsecond),
+				rep.Phase.Flush.Round(time.Microsecond), rep.Phase.Total.Round(time.Microsecond))
+			fmt.Fprintf(out, "# am iterations: total=%d max=%d\n", rep.AMIterations, rep.MaxAMIterations)
+			fmt.Fprintf(out, "# wall: %v\n", rep.Wall.Round(time.Microsecond))
+		}
+	}
+
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d graphs failed", rep.Failed, rep.Graphs)
+	}
+	return nil
+}

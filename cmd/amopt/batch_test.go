@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const batchSrcA = `
+graph a {
+  entry s
+  exit e
+  block s {
+    x := u + v
+    y := u + v
+    goto e
+  }
+  block e { out(x, y) }
+}
+`
+
+const batchSrcB = `
+graph b {
+  entry s
+  exit e
+  block s {
+    p := m * n
+    if p > m then t else e
+  }
+  block t {
+    q := m * n
+    goto e
+  }
+  block e { out(p, q) }
+}
+`
+
+func writeBatchDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range map[string]string{"a.fg": batchSrcA, "b.fg": batchSrcB, "a_dup.fg": batchSrcA} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestBatchDirectory(t *testing.T) {
+	dir := writeBatchDir(t)
+	out, err := runCLI(t, "-stats", "-parallel", "2", "-verify", "6", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# batch: 3 graphs, 3 ok, 0 failed", "cache=hit", "am iterations:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBatchMultipleFiles(t *testing.T) {
+	dir := writeBatchDir(t)
+	a, b := filepath.Join(dir, "a.fg"), filepath.Join(dir, "b.fg")
+	out, err := runCLI(t, "-parallel", "1", a, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache=hit") {
+		t.Errorf("duplicate file not served from cache:\n%s", out)
+	}
+	if strings.Count(out, " ok ") != 3 {
+		t.Errorf("expected 3 ok lines:\n%s", out)
+	}
+}
+
+func TestBatchJSON(t *testing.T) {
+	dir := writeBatchDir(t)
+	out, err := runCLI(t, "-json", "-timeout", "10s", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Graphs    int `json:"graphs"`
+		Succeeded int `json:"succeeded"`
+		Results   []struct {
+			Name    string `json:"name"`
+			File    string `json:"file"`
+			Program string `json:"program"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Graphs != 3 || rep.Succeeded != 3 || len(rep.Results) != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// a.fg: the redundant u+v must be computed once.
+	if prog := rep.Results[0].Program; !strings.Contains(prog, "h1 := u + v") {
+		t.Errorf("optimized program missing hoisted temporary:\n%s", prog)
+	}
+}
+
+func TestBatchRejectsUnsupportedFlags(t *testing.T) {
+	dir := writeBatchDir(t)
+	if _, err := runCLI(t, "-pass", "em", dir); err == nil || !strings.Contains(err.Error(), "global algorithm") {
+		t.Errorf("custom pass accepted in batch mode: %v", err)
+	}
+	if _, err := runCLI(t, "-dot", dir); err == nil {
+		t.Error("-dot accepted in batch mode")
+	}
+	if _, err := runCLI(t, "-run", "a=1", dir); err == nil {
+		t.Error("-run accepted in batch mode")
+	}
+	a := filepath.Join(dir, "a.fg")
+	if _, err := runCLI(t, a, "-"); err == nil {
+		t.Error("stdin accepted in batch mode")
+	}
+}
+
+func TestBatchEmptyDirectory(t *testing.T) {
+	if _, err := runCLI(t, t.TempDir()); err == nil || !strings.Contains(err.Error(), "no .fg files") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBatchParseErrorNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.fg")
+	if err := os.WriteFile(bad, []byte("graph oops {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.fg")
+	if err := os.WriteFile(good, []byte(batchSrcA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, good, bad); err == nil || !strings.Contains(err.Error(), "bad.fg") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	amopt [flags] file.fg        # or "-" for stdin
+//	amopt [flags] a.fg b.fg dir/ # batch mode: many files / directories
 //
 //	-pass globalg                comma-separated pipeline; see -list
 //	-dot                         emit Graphviz instead of .fg
@@ -22,6 +23,12 @@
 //	-json                        machine-readable report
 //	-list                        list passes and built-in figures
 //
+// Batch flags (multiple files, or a directory of .fg files):
+//
+//	-parallel N                  worker goroutines (0 = GOMAXPROCS)
+//	-timeout D                   per-graph deadline, e.g. 500ms
+//	-stats                       print the aggregated batch report
+//
 // Examples:
 //
 //	amopt -figure running -pass globalg            # reproduce Figure 15
@@ -29,6 +36,7 @@
 //	amopt -figure fig08 -pass am-restricted        # Figure 8 (stuck)
 //	amopt -pass em,copyprop -verify 20 prog.fg
 //	amopt -prog -pass globalg,tidy -json main.prog
+//	amopt -parallel 8 -timeout 2s -stats corpus/   # batch optimize a tree
 package main
 
 import (
@@ -66,6 +74,9 @@ func run(args []string, out io.Writer) error {
 	randomSize := fs.Int("size", 10, "size of the random program (with -random)")
 	jsonFlag := fs.Bool("json", false, "emit a JSON report (metrics, verification, run) instead of text annotations")
 	listFlag := fs.Bool("list", false, "list passes and figures")
+	parallelFlag := fs.Int("parallel", 0, "batch mode: worker goroutines (0 = GOMAXPROCS)")
+	timeoutFlag := fs.Duration("timeout", 0, "batch mode: per-graph optimization deadline (0 = none)")
+	statsFlag := fs.Bool("stats", false, "batch mode: print the aggregated batch report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +91,23 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %s\n", f)
 		}
 		return nil
+	}
+
+	if batch, files, err := batchInputs(fs.Args(), *figureFlag, *randomFlag); err != nil {
+		return err
+	} else if batch {
+		return runBatch(files, batchConfig{
+			passSpec: *passFlag,
+			nested:   *nestedFlag,
+			prog:     *progFlag,
+			parallel: *parallelFlag,
+			timeout:  *timeoutFlag,
+			verify:   *verifyFlag,
+			stats:    *statsFlag,
+			json:     *jsonFlag,
+			dot:      *dotFlag,
+			run:      *runFlag,
+		}, out)
 	}
 
 	var g *assignmentmotion.Graph

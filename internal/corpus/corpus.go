@@ -31,6 +31,15 @@ func Names() []string {
 	return out
 }
 
+// Source returns the .fg source text of the named program.
+func Source(name string) string {
+	data, err := files.ReadFile("fg/" + name + ".fg")
+	if err != nil {
+		panic("corpus: unknown program " + name)
+	}
+	return string(data)
+}
+
 // Load parses the named program into a fresh graph.
 func Load(name string) *ir.Graph {
 	data, err := files.ReadFile("fg/" + name + ".fg")

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/ir"
+)
+
+// CacheStats reports the cumulative behaviour of one engine's cache.
+type CacheStats struct {
+	Hits    int64 // lookups answered from a stored result
+	Misses  int64 // lookups that had to optimize
+	Entries int   // results currently stored
+}
+
+// entry is one cached optimization outcome. The stored graph is private to
+// the cache; readers receive clones.
+type entry struct {
+	fp     ir.Fingerprint
+	graph  *ir.Graph
+	result core.Result
+}
+
+// flight coordinates duplicate in-flight work on one fingerprint: the
+// first worker to claim a fingerprint becomes the leader and computes;
+// followers block on done and read the outcome. A failed leader (panic,
+// timeout, cancellation) publishes ok=false and followers compute for
+// themselves — errors are never cached, so a transient timeout cannot
+// poison a fingerprint forever.
+type flight struct {
+	done   chan struct{}
+	graph  *ir.Graph
+	result core.Result
+	ok     bool
+}
+
+// cache is a content-addressed LRU of optimization results with
+// single-flight deduplication. maxEntries <= 0 disables the bound.
+type cache struct {
+	mu         sync.Mutex
+	entries    map[ir.Fingerprint]*list.Element
+	ll         list.List // front = most recently used
+	inflight   map[ir.Fingerprint]*flight
+	maxEntries int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newCache(maxEntries int) *cache {
+	return &cache{
+		entries:    map[ir.Fingerprint]*list.Element{},
+		inflight:   map[ir.Fingerprint]*flight{},
+		maxEntries: maxEntries,
+	}
+}
+
+// lookup returns the cached outcome for fp, cloning the stored graph.
+func (c *cache) lookup(fp ir.Fingerprint) (*ir.Graph, core.Result, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[fp]
+	if !ok {
+		c.mu.Unlock()
+		return nil, core.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*entry)
+	g, res := e.graph, e.result
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return g.Clone(), res, true
+}
+
+// claim registers the caller as leader for fp, or returns the existing
+// in-flight computation to wait on.
+func (c *cache) claim(fp ir.Fingerprint) (leader bool, fl *flight) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fl, ok := c.inflight[fp]; ok {
+		return false, fl
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.inflight[fp] = fl
+	return true, fl
+}
+
+// complete publishes a leader's successful outcome: the result is stored
+// (the cache takes ownership of g, so the caller must pass a private
+// clone), followers are released, and the LRU is trimmed.
+func (c *cache) complete(fp ir.Fingerprint, fl *flight, g *ir.Graph, res core.Result) {
+	c.mu.Lock()
+	fl.graph, fl.result, fl.ok = g, res, true
+	delete(c.inflight, fp)
+	if el, ok := c.entries[fp]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).graph, el.Value.(*entry).result = g, res
+	} else {
+		c.entries[fp] = c.ll.PushFront(&entry{fp: fp, graph: g, result: res})
+		if c.maxEntries > 0 {
+			for len(c.entries) > c.maxEntries {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.entries, oldest.Value.(*entry).fp)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// abandon releases followers after a failed leader without caching.
+func (c *cache) abandon(fp ir.Fingerprint, fl *flight) {
+	c.mu.Lock()
+	delete(c.inflight, fp)
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

@@ -1,0 +1,368 @@
+// Package engine is the concurrent batch front end to the paper's global
+// algorithm: it runs the three-phase pipeline (initialization → exhaustive
+// aht/rae assignment-motion fixpoint → final flush, exactly core.Optimize)
+// over many flow graphs at once on a bounded worker pool.
+//
+// The engine is built for heavy, untrusted traffic:
+//
+//   - a worker pool with configurable parallelism (default GOMAXPROCS);
+//   - per-graph panic recovery and deadline/cancellation via
+//     context.Context, so one pathological graph fails alone instead of
+//     taking the batch down;
+//   - a content-addressed result cache keyed by ir.Graph.Fingerprint with
+//     single-flight deduplication, so duplicate graphs are optimized once
+//     per engine lifetime;
+//   - per-phase observability: timings, AM iteration counts, and cache
+//     hit/miss counters aggregated into a batch Report.
+//
+// Inputs are never mutated: each job optimizes a private clone and the
+// optimized clone is returned in its GraphResult. That makes the engine
+// directly usable as a differential-testing harness (compare the result
+// against the untouched input with internal/verify).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/ir"
+)
+
+// DefaultCacheSize bounds the result cache when Options.CacheSize is 0.
+const DefaultCacheSize = 1024
+
+// Options tune one Engine.
+type Options struct {
+	// Parallelism is the number of worker goroutines per batch.
+	// <= 0 selects runtime.GOMAXPROCS(0).
+	Parallelism int
+	// Timeout bounds the optimization of a single graph. 0 means no
+	// per-graph bound (the batch context still applies). A graph that
+	// exceeds its deadline yields a context.DeadlineExceeded result;
+	// its abandoned computation finishes in the background and is
+	// discarded.
+	Timeout time.Duration
+	// CacheSize is the maximum number of cached results. 0 selects
+	// DefaultCacheSize; negative disables caching entirely.
+	CacheSize int
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// PanicError is the recovered panic of one optimization job.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("optimization panicked: %v", e.Value) }
+
+// PhaseTimings records wall time spent per phase of the global algorithm.
+type PhaseTimings struct {
+	Init  time.Duration `json:"init"`
+	AM    time.Duration `json:"am"`
+	Flush time.Duration `json:"flush"`
+	Total time.Duration `json:"total"`
+}
+
+func (t *PhaseTimings) add(u PhaseTimings) {
+	t.Init += u.Init
+	t.AM += u.AM
+	t.Flush += u.Flush
+	t.Total += u.Total
+}
+
+// GraphResult is the outcome of one graph in a batch.
+type GraphResult struct {
+	// Index is the graph's position in the input slice.
+	Index int
+	// Name is the input graph's name.
+	Name string
+	// Graph is the optimized clone of the input; nil when Err is set.
+	Graph *ir.Graph
+	// Result carries the per-phase statistics of the optimization (or of
+	// the cached optimization on a cache hit).
+	Result core.Result
+	// Err is non-nil when the job failed: a *PanicError for recovered
+	// panics, context.DeadlineExceeded / context.Canceled for deadline
+	// and cancellation, or a validation error for nil inputs.
+	Err error
+	// CacheHit reports that the result was served from the cache.
+	CacheHit bool
+	// Fingerprint is the input's content address ("" if fingerprinting
+	// itself failed on a malformed graph).
+	Fingerprint string
+	// Timings is the wall time of this job's phases (≈ 0 on cache hits).
+	Timings PhaseTimings
+}
+
+// Report aggregates one batch.
+type Report struct {
+	Graphs      int           `json:"graphs"`
+	Succeeded   int           `json:"succeeded"`
+	Failed      int           `json:"failed"`
+	CacheHits   int           `json:"cacheHits"`
+	CacheMisses int           `json:"cacheMisses"`
+	Parallelism int           `json:"parallelism"`
+	Wall        time.Duration `json:"wall"`
+	// Phase sums per-phase wall time across all jobs (CPU-parallel, so
+	// the sum may exceed Wall).
+	Phase PhaseTimings `json:"phase"`
+	// AMIterations sums assignment-motion rounds across all jobs;
+	// MaxAMIterations is the worst single graph.
+	AMIterations    int `json:"amIterations"`
+	MaxAMIterations int `json:"maxAmIterations"`
+	// Results holds one entry per input graph, in input order.
+	Results []GraphResult `json:"-"`
+}
+
+// Engine is a reusable batch optimizer. The zero value is not usable;
+// construct with New. An Engine's cache persists across batches, so a
+// long-lived engine serves repeated traffic with warm-cache latencies.
+type Engine struct {
+	opts  Options
+	cache *cache // nil when caching is disabled
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	e := &Engine{opts: opts}
+	if opts.CacheSize >= 0 {
+		size := opts.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		e.cache = newCache(size)
+	}
+	return e
+}
+
+// CacheStats reports the engine's cumulative cache behaviour.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
+
+// OptimizeBatch runs the global algorithm over every graph, at most
+// opts.Parallelism at a time, and returns the aggregated report. Inputs
+// are not mutated. The call honours ctx: once ctx is done, unstarted jobs
+// are skipped and running jobs are abandoned, all reporting ctx's error.
+func (e *Engine) OptimizeBatch(ctx context.Context, graphs []*ir.Graph) Report {
+	start := time.Now()
+	results := make([]GraphResult, len(graphs))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.opts.parallelism()
+	if workers > len(graphs) {
+		workers = len(graphs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = e.optimizeJob(ctx, i, graphs[i])
+			}
+		}()
+	}
+feed:
+	for i := range graphs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(graphs); j++ {
+				results[j] = GraphResult{Index: j, Err: ctx.Err()}
+				if graphs[j] != nil {
+					results[j].Name = graphs[j].Name
+				}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := Report{Graphs: len(graphs), Parallelism: workers, Results: results}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			rep.Failed++
+			continue
+		}
+		rep.Succeeded++
+		if r.CacheHit {
+			rep.CacheHits++
+		} else {
+			rep.CacheMisses++
+		}
+		rep.Phase.add(r.Timings)
+		rep.AMIterations += r.Result.AM.Iterations
+		if r.Result.AM.Iterations > rep.MaxAMIterations {
+			rep.MaxAMIterations = r.Result.AM.Iterations
+		}
+	}
+	rep.Wall = time.Since(start)
+	return rep
+}
+
+// Optimize runs a single graph through the engine (pool of one). It is a
+// convenience for callers that want caching, recovery, and timeouts
+// without assembling a slice.
+func (e *Engine) Optimize(ctx context.Context, g *ir.Graph) GraphResult {
+	return e.optimizeJob(ctx, 0, g)
+}
+
+// OptimizeBatch is the one-shot form: a fresh Engine with opts, one batch.
+func OptimizeBatch(ctx context.Context, graphs []*ir.Graph, opts Options) Report {
+	return New(opts).OptimizeBatch(ctx, graphs)
+}
+
+// optimizeJob runs one graph with full isolation: fingerprinting, cache
+// lookup, single-flight coordination, and the protected computation.
+func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r GraphResult) {
+	r = GraphResult{Index: idx}
+	if g == nil {
+		r.Err = errors.New("engine: nil graph")
+		return r
+	}
+	r.Name = g.Name
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	defer func() {
+		// Fingerprinting malformed graphs may itself panic; everything
+		// heavier is already recovered in the compute goroutine.
+		if rec := recover(); rec != nil {
+			r.Err = &PanicError{Value: rec, Stack: debug.Stack()}
+			r.Graph = nil
+		}
+	}()
+	start := time.Now()
+	defer func() { r.Timings.Total = time.Since(start) }()
+
+	if e.cache == nil {
+		out, res, tm, err := e.compute(ctx, g)
+		r.Graph, r.Result, r.Timings, r.Err = out, res, tm, err
+		return r
+	}
+
+	fp := g.Fingerprint()
+	r.Fingerprint = fp.String()
+	if out, res, ok := e.cache.lookup(fp); ok {
+		out.Name = g.Name // fingerprints ignore names; keep the caller's
+		r.Graph, r.Result, r.CacheHit = out, res, true
+		return r
+	}
+	leader, fl := e.cache.claim(fp)
+	if !leader {
+		select {
+		case <-fl.done:
+			if fl.ok {
+				e.cache.hits.Add(1)
+				out := fl.graph.Clone()
+				out.Name = g.Name
+				r.Graph, r.Result, r.CacheHit = out, fl.result, true
+				return r
+			}
+			// The leader failed; fall through and compute for ourselves
+			// (deterministic failures will fail here too, transient ones
+			// — a timeout under load — get their honest retry).
+		case <-ctx.Done():
+			r.Err = ctx.Err()
+			return r
+		}
+	}
+	e.cache.misses.Add(1)
+	out, res, tm, err := e.compute(ctx, g)
+	r.Result, r.Timings = res, tm
+	if leader {
+		if err != nil {
+			e.cache.abandon(fp, fl)
+		} else {
+			e.cache.complete(fp, fl, out.Clone(), res)
+		}
+	}
+	r.Graph, r.Err = out, err
+	return r
+}
+
+// computation is what the worker goroutine sends back.
+type computation struct {
+	g   *ir.Graph
+	res core.Result
+	tm  PhaseTimings
+	err error
+}
+
+// compute runs the three phases of core.Optimize on a private clone of g,
+// timing each phase, in a child goroutine so the deadline can abandon it.
+// Context state is checked between phases, so cooperative cancellation is
+// usually prompt; a truly stuck phase is abandoned at the deadline and its
+// goroutine drains in the background (all phases terminate — the fixpoint
+// is monotone — so abandoned work is garbage-collected, not leaked
+// forever).
+func (e *Engine) compute(ctx context.Context, g *ir.Graph) (*ir.Graph, core.Result, PhaseTimings, error) {
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
+	ch := make(chan computation, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- computation{err: &PanicError{Value: rec, Stack: debug.Stack()}}
+			}
+		}()
+		var c computation
+		clone := g.Clone()
+		clone.SplitCriticalEdges()
+
+		t := time.Now()
+		c.res.Decomposed = core.Initialize(clone)
+		c.tm.Init = time.Since(t)
+		if err := ctx.Err(); err != nil {
+			ch <- computation{err: err}
+			return
+		}
+
+		t = time.Now()
+		c.res.AM = am.Run(clone)
+		c.tm.AM = time.Since(t)
+		if err := ctx.Err(); err != nil {
+			ch <- computation{err: err}
+			return
+		}
+
+		t = time.Now()
+		c.res.Flush = flush.Run(clone)
+		c.tm.Flush = time.Since(t)
+
+		c.g = clone
+		ch <- c
+	}()
+	select {
+	case c := <-ch:
+		c.tm.Total = c.tm.Init + c.tm.AM + c.tm.Flush
+		return c.g, c.res, c.tm, c.err
+	case <-ctx.Done():
+		return nil, core.Result{}, PhaseTimings{}, ctx.Err()
+	}
+}

@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint is a content address of a graph: a collision-resistant hash
+// of the graph's canonical form. Two graphs share a fingerprint exactly
+// when they are identical up to block naming and block declaration order
+// (variables, instructions, branch targets, and temporary bindings all
+// participate). The batch engine keys its result cache on fingerprints.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns the first 12 hex digits, for logs and reports.
+func (f Fingerprint) Short() string { return f.String()[:12] }
+
+// Fingerprint computes the graph's content address. The canonical form
+// renames blocks to their rank in a deterministic depth-first traversal
+// from the entry node (successor order preserved, since it selects branch
+// arms), appends unreachable blocks in declaration order, and records
+// every instruction, edge, and occurring temporary binding h_ε ↦ ε.
+// Graph and block names are deliberately excluded, so structurally equal
+// programs parsed from differently named sources coincide.
+func (g *Graph) Fingerprint() Fingerprint {
+	rank := make([]int, len(g.Blocks)) // NodeID -> canonical index + 1
+	order := make([]*Block, 0, len(g.Blocks))
+	visit := func(id NodeID) {
+		stack := []NodeID{id}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if rank[n] != 0 {
+				continue
+			}
+			order = append(order, g.Block(n))
+			rank[n] = len(order)
+			succs := g.Block(n).Succs
+			for i := len(succs) - 1; i >= 0; i-- {
+				if rank[succs[i]] == 0 {
+					stack = append(stack, succs[i])
+				}
+			}
+		}
+	}
+	if len(g.Blocks) > 0 {
+		visit(g.Entry)
+	}
+	for _, b := range g.Blocks { // unreachable leftovers, declaration order
+		if rank[b.ID] == 0 {
+			visit(b.ID)
+		}
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "entry %d exit %d\n", rank[g.Entry], rank[g.Exit])
+	var temps []Var
+	seen := map[Var]bool{}
+	note := func(v Var) {
+		if !seen[v] && g.IsTemp(v) {
+			seen[v] = true
+			temps = append(temps, v)
+		}
+	}
+	for _, b := range order {
+		fmt.Fprintf(h, "n%d[", rank[b.ID])
+		for i, in := range b.Instrs {
+			if i > 0 {
+				h.Write([]byte{';'})
+			}
+			h.Write([]byte(in.Key()))
+			for _, v := range in.Uses(nil) {
+				note(v)
+			}
+			if v, ok := in.Defs(); ok {
+				note(v)
+			}
+		}
+		h.Write([]byte("]->"))
+		for i, s := range b.Succs {
+			if i > 0 {
+				h.Write([]byte{','})
+			}
+			fmt.Fprintf(h, "n%d", rank[s])
+		}
+		h.Write([]byte{'\n'})
+	}
+	// Temporary bindings are semantic state (IsTemp / TempExpr steer the
+	// phases), so occurring temporaries contribute their bound patterns.
+	sort.Slice(temps, func(i, j int) bool { return temps[i] < temps[j] })
+	for _, v := range temps {
+		e, _ := g.TempExpr(v)
+		fmt.Fprintf(h, "temp %s=%s\n", v, e.Key())
+	}
+
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}
+
+// FingerprintString is a debugging aid: the hex fingerprint plus a terse
+// shape summary ("12ab34cd56ef (7 blocks, 23 instrs)").
+func (g *Graph) FingerprintString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%d blocks, %d instrs)", g.Fingerprint().Short(), len(g.Blocks), g.InstrCount())
+	return sb.String()
+}
