@@ -16,7 +16,10 @@ import (
 
 	"assignmentmotion/internal/aht"
 	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/arena"
+	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/cfggen"
+	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/engine"
 	"assignmentmotion/internal/figures"
@@ -346,6 +349,103 @@ func BenchmarkFingerprint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g.Fingerprint()
 	}
+}
+
+// solverProblem builds the block-level availability problem (the shape of
+// rae's solve) over g with synthetic gen/kill vectors, for the solver
+// micro-benchmarks.
+func solverProblem(g *ir.Graph, bits int) dataflow.Problem {
+	n := len(g.Blocks)
+	preds := make([][]int, n)
+	succs := make([][]int, n)
+	for i, b := range g.Blocks {
+		for _, p := range b.Preds {
+			preds[i] = append(preds[i], int(p))
+		}
+		for _, s := range b.Succs {
+			succs[i] = append(succs[i], int(s))
+		}
+	}
+	gen := make([]bitvec.Vec, n)
+	kill := make([]bitvec.Vec, n)
+	for i := 0; i < n; i++ {
+		gen[i] = bitvec.New(bits)
+		kill[i] = bitvec.New(bits)
+		gen[i].Set(i % bits)
+		kill[i].Set((i * 7) % bits)
+	}
+	entry := int(g.Entry)
+	return dataflow.Problem{
+		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
+		Preds: func(i int) []int { return preds[i] },
+		Succs: func(i int) []int { return succs[i] },
+		Transfer: func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(kill[i])
+			out.Or(gen[i])
+		},
+		Boundary: func(i int, in bitvec.Vec) {
+			if i == entry {
+				in.ClearAll()
+			}
+		},
+	}
+}
+
+// BenchmarkSolverOrder is experiment D1: the same availability problem
+// solved with the legacy FIFO worklist and with the RPO priority worklist.
+// The reported visits/sweeps metrics show why RPO wins: long acyclic
+// stretches propagate in one pass.
+func BenchmarkSolverOrder(b *testing.B) {
+	for _, row := range []struct {
+		name string
+		g    *ir.Graph
+	}{
+		{"chain64", cfggen.RedundantChain(64)},
+		{"structured80", cfggen.Structured(1, cfggen.Config{Size: 80})},
+		{"unstructured80", cfggen.Unstructured(1, cfggen.Config{Size: 80})},
+	} {
+		p := solverProblem(row.g, 64)
+		for _, mode := range []string{"fifo", "rpo"} {
+			p.FIFO = mode == "fifo"
+			b.Run(row.name+"/"+mode, func(b *testing.B) {
+				b.ReportAllocs()
+				var res dataflow.Result
+				for i := 0; i < b.N; i++ {
+					res = dataflow.Solve(p)
+				}
+				b.ReportMetric(float64(res.Visits), "visits")
+				b.ReportMetric(float64(res.Sweeps), "sweeps")
+			})
+		}
+	}
+}
+
+// BenchmarkSolverArena is experiment D2: the same solve with fresh heap
+// vectors per run vs carved out of one reused arena — the allocation story
+// behind the warm assignment-motion fixpoint.
+func BenchmarkSolverArena(b *testing.B) {
+	g := cfggen.Structured(1, cfggen.Config{Size: 80})
+	p := solverProblem(g, 64)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dataflow.Solve(p)
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		ar := arena.Get()
+		defer arena.Put(ar)
+		p := p
+		p.Arena = ar
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := ar.Mark()
+			dataflow.Solve(p)
+			ar.Release(m)
+		}
+	})
 }
 
 // BenchmarkMiniLang measures the structured front end end-to-end.

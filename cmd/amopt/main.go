@@ -37,6 +37,11 @@
 //	amopt -pass em,copyprop -verify 20 prog.fg
 //	amopt -prog -pass globalg,tidy -json main.prog
 //	amopt -parallel 8 -timeout 2s -stats corpus/   # batch optimize a tree
+//
+// Profiling (pprof):
+//
+//	-cpuprofile f.pprof          write a CPU profile of the whole run
+//	-memprofile f.pprof          write an allocation profile at exit
 package main
 
 import (
@@ -45,6 +50,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -77,8 +84,36 @@ func run(args []string, out io.Writer) error {
 	parallelFlag := fs.Int("parallel", 0, "batch mode: worker goroutines (0 = GOMAXPROCS)")
 	timeoutFlag := fs.Duration("timeout", 0, "batch mode: per-graph optimization deadline (0 = none)")
 	statsFlag := fs.Bool("stats", false, "batch mode: print the aggregated batch report")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amopt: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live + cumulative allocations accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "amopt: -memprofile:", err)
+			}
+		}()
 	}
 
 	if *listFlag {

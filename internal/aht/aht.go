@@ -28,7 +28,9 @@ import (
 	"assignmentmotion/internal/ir"
 )
 
-// Info holds the analysis result, indexed by block ID.
+// Info holds the analysis result, indexed by block ID. When it was
+// computed through a session (AnalyzeWith), the vectors live in the
+// session's arena and are only valid until the caller releases it.
 type Info struct {
 	U *ir.PatternSet
 
@@ -40,37 +42,67 @@ type Info struct {
 	XInsert      []bitvec.Vec
 
 	// candidates[block][patternID] is the instruction index of the
-	// block's hoisting candidate of that pattern.
-	candidates []map[int]int
+	// block's hoisting candidate of that pattern (-1 when absent).
+	candidates [][]int
+
+	// occRank[patternID] ranks patterns by first occurrence in the current
+	// graph (-1 when absent). Insertion points place their patterns in this
+	// order: a session reuses pattern IDs across rounds, so raw ID order
+	// would depend on interning history, while first-occurrence order is a
+	// property of the graph alone — it keeps the fixpoint canonical and
+	// byte-identical to the uncached implementation, which renumbered the
+	// universe every round.
+	occRank []int
 }
 
 // Analyze computes the hoistability analysis and insertion points for g.
 func Analyze(g *ir.Graph) *Info {
-	u := ir.AssignUniverse(g)
-	px := analysis.NewPatternIndex(u)
+	return AnalyzeWith(g, nil)
+}
+
+// AnalyzeWith is Analyze drawing its universe, iteration order, and vector
+// storage from s (which may be nil for the uncached path). The returned
+// Info shares the session's arena; it must be consumed before the arena is
+// released.
+func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
+	u, px := s.Universe(g)
+	ar := s.Arena()
+	bv := s.Blocks(g)
 	n, bits := len(g.Blocks), u.Len()
 	info := &Info{
 		U:            u,
-		LocHoistable: make([]bitvec.Vec, n),
-		LocBlocked:   make([]bitvec.Vec, n),
-		candidates:   make([]map[int]int, n),
+		LocHoistable: ar.Vecs(n),
+		LocBlocked:   ar.Vecs(n),
+		candidates:   make([][]int, n),
 	}
 	for i, b := range g.Blocks {
-		info.LocHoistable[i], info.LocBlocked[i], info.candidates[i] = px.BlockLocals(b)
+		info.LocHoistable[i], info.LocBlocked[i], info.candidates[i] = px.BlockLocalsArena(b, ar)
+	}
+
+	info.occRank = ar.Ints(bits)
+	for id := range info.occRank {
+		info.occRank[id] = -1
+	}
+	next := 0
+	for _, b := range g.Blocks {
+		for k := range b.Instrs {
+			if id, ok := px.OccID(&b.Instrs[k]); ok && info.occRank[id] < 0 {
+				info.occRank[id] = next
+				next++
+			}
+		}
 	}
 
 	exit := int(g.Exit)
 	res := dataflow.Solve(dataflow.Problem{
-		N:    n,
-		Bits: bits,
-		Dir:  dataflow.Backward,
-		Meet: dataflow.All,
-		Preds: func(i int) []int {
-			return nodeIDs(g.Blocks[i].Preds)
-		},
-		Succs: func(i int) []int {
-			return nodeIDs(g.Blocks[i].Succs)
-		},
+		N:     n,
+		Bits:  bits,
+		Dir:   dataflow.Backward,
+		Meet:  dataflow.All,
+		Preds: bv.Preds,
+		Succs: bv.Succs,
+		Order: bv.BwdOrder,
+		Arena: ar,
 		// For a Backward problem the solver's "in" is the fact at the
 		// block's exit (X-HOISTABLE) and "out" the fact at its entry
 		// (N-HOISTABLE).
@@ -88,16 +120,18 @@ func Analyze(g *ir.Graph) *Info {
 	info.XHoistable = res.In
 	info.NHoistable = res.Out
 
-	info.NInsert = make([]bitvec.Vec, n)
-	info.XInsert = make([]bitvec.Vec, n)
+	info.NInsert = ar.Vecs(n)
+	info.XInsert = ar.Vecs(n)
+	frontier, notX := ar.Vec(bits), ar.Vec(bits)
 	for i, b := range g.Blocks {
 		// N-INSERT: hoistable at the entry and reaching the frontier —
 		// the start node, or some predecessor whose exit is not hoistable.
-		ni := info.NHoistable[i].Copy()
+		ni := ar.Vec(bits)
+		ni.CopyFrom(info.NHoistable[i])
 		if b.ID != g.Entry {
-			frontier := bitvec.New(bits)
+			frontier.ClearAll()
 			for _, p := range b.Preds {
-				notX := info.XHoistable[int(p)].Copy()
+				notX.CopyFrom(info.XHoistable[int(p)])
 				notX.Not()
 				frontier.Or(notX)
 			}
@@ -105,19 +139,12 @@ func Analyze(g *ir.Graph) *Info {
 		}
 		info.NInsert[i] = ni
 
-		xi := info.XHoistable[i].Copy()
+		xi := ar.Vec(bits)
+		xi.CopyFrom(info.XHoistable[i])
 		xi.And(info.LocBlocked[i])
 		info.XInsert[i] = xi
 	}
 	return info
-}
-
-func nodeIDs(ids []ir.NodeID) []int {
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = int(id)
-	}
-	return out
 }
 
 // Apply performs one hoisting step on g: it inserts instances at all
@@ -127,7 +154,7 @@ func nodeIDs(ids []ir.NodeID) []int {
 // entry of each successor, which edge splitting guarantees to have that
 // branch node as its only predecessor.
 func Apply(g *ir.Graph) bool {
-	return ApplyMasked(g, nil)
+	return ApplyWith(g, nil, nil)
 }
 
 // ApplyMasked is Apply restricted to the assignment patterns accepted by
@@ -136,10 +163,22 @@ func Apply(g *ir.Graph) bool {
 // Dhamdhere-style "immediately profitable" baseline uses this to hoist one
 // pattern at a time.
 func ApplyMasked(g *ir.Graph, mask func(ir.AssignPattern) bool) bool {
-	before := g.Encode()
-	info := Analyze(g)
+	return ApplyWith(g, nil, mask)
+}
+
+// ApplyWith is ApplyMasked running against session s: the pattern universe
+// and iteration orders are reused across rounds and all analysis storage
+// comes from the session's arena, which is rewound before returning — one
+// warmed-up hoisting round allocates almost nothing. The change report is
+// precise (per-block instruction comparison), not an Encode round trip.
+func ApplyWith(g *ir.Graph, s *analysis.Session, mask func(ir.AssignPattern) bool) bool {
+	ar := s.Arena()
+	m := ar.Mark()
+	defer ar.Release(m)
+
+	info := AnalyzeWith(g, s)
 	if mask != nil {
-		keep := bitvec.New(info.U.Len())
+		keep := ar.Vec(info.U.Len())
 		for id, p := range info.U.Patterns() {
 			if mask(p) {
 				keep.Set(id)
@@ -160,7 +199,7 @@ func ApplyMasked(g *ir.Graph, mask func(ir.AssignPattern) bool) bool {
 
 	for i, b := range g.Blocks {
 		if info.XInsert[i].Any() {
-			instrs := patternsToInstrs(info.U, info.XInsert[i])
+			instrs := patternsToInstrs(info.U, info.XInsert[i], info.occRank)
 			if _, branch := b.Cond(); branch {
 				for _, s := range b.Succs {
 					if len(g.Block(s).Preds) != 1 {
@@ -176,35 +215,69 @@ func ApplyMasked(g *ir.Graph, mask func(ir.AssignPattern) bool) bool {
 	}
 	for i := range g.Blocks {
 		if info.NInsert[i].Any() {
-			prepend[i] = append(prepend[i], patternsToInstrs(info.U, info.NInsert[i])...)
+			prepend[i] = append(prepend[i], patternsToInstrs(info.U, info.NInsert[i], info.occRank)...)
 		}
 	}
 
+	changed := false
 	for i, b := range g.Blocks {
+		// Untouched block: nothing to insert, no candidate to remove.
+		if len(prepend[i]) == 0 && len(appendAtEnd[i]) == 0 && !info.LocHoistable[i].Any() {
+			continue
+		}
 		// Remove hoisting candidates (at most one per pattern per block).
-		drop := map[int]bool{}
+		drop := ar.Vec(len(b.Instrs))
 		info.LocHoistable[i].ForEach(func(id int) {
-			drop[info.candidates[i][id]] = true
+			drop.Set(info.candidates[i][id])
 		})
 		next := make([]ir.Instr, 0, len(prepend[i])+len(b.Instrs)+len(appendAtEnd[i]))
 		next = append(next, prepend[i]...)
 		for k, in := range b.Instrs {
-			if !drop[k] {
+			if !drop.Get(k) {
 				next = append(next, in)
 			}
 		}
 		next = append(next, appendAtEnd[i]...)
+		if !sameInstrs(next, b.Instrs) {
+			changed = true
+		}
 		b.Instrs = next
 	}
 	g.Normalize()
-	return g.Encode() != before
+	return changed
 }
 
-func patternsToInstrs(u *ir.PatternSet, v bitvec.Vec) []ir.Instr {
-	var out []ir.Instr
-	v.ForEach(func(id int) {
+// sameInstrs reports element-wise structural equality. A hoisting round
+// may remove a candidate and re-insert the identical instruction at the
+// same point (a candidate already at its earliest position); such a round
+// must report "unchanged" so the fixpoint loops terminate, exactly as the
+// old Encode comparison did.
+func sameInstrs(a, b []ir.Instr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// patternsToInstrs materializes the patterns set in v, ordered by first
+// occurrence in the current graph (see Info.occRank). Insertion sort: the
+// sets are tiny and sort.Slice's reflection allocates.
+func patternsToInstrs(u *ir.PatternSet, v bitvec.Vec, rank []int) []ir.Instr {
+	ids := v.Bits()
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && rank[ids[j]] < rank[ids[j-1]]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := make([]ir.Instr, 0, len(ids))
+	for _, id := range ids {
 		p := u.Pattern(id)
 		out = append(out, ir.NewAssign(p.LHS, p.RHS))
-	})
+	}
 	return out
 }

@@ -9,12 +9,22 @@
 // discussed in §1.4, which only performs "immediately profitable"
 // hoistings — those that enable the elimination of an occurrence of the
 // hoisted pattern — and therefore misses second-order effects (Figure 8).
+//
+// Fixpoint detection is signal-based: aht.ApplyWith reports precisely
+// whether it changed any instruction sequence and rae's removal count is
+// zero exactly when it left the program alone, so a round with
+// !hoisted && removed == 0 is the fixpoint. The previous implementation
+// serialized the whole graph (g.Encode()) up to three times per round to
+// compare strings; on the batch benchmark that serialization was pure
+// overhead. The iteration limit stays as a backstop that turns a
+// termination bug into a loud panic instead of a hang.
 package am
 
 import (
 	"fmt"
 
 	"assignmentmotion/internal/aht"
+	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/rae" // block-level elimination: identical results (see rae.EliminateBlocks), smaller solver
 )
@@ -36,6 +46,15 @@ type Stats struct {
 // invariant under both. The result is relatively assignment-optimal in the
 // universe G* (Lemma 4.2).
 func Run(g *ir.Graph) Stats {
+	s := analysis.NewSession()
+	defer s.Close()
+	return RunWith(g, s)
+}
+
+// RunWith is Run against an existing session, so a caller driving several
+// phases (core.Optimize) shares one arena and one universe cache across
+// all of them.
+func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
 	limit := iterationLimit(g)
@@ -44,13 +63,13 @@ func Run(g *ir.Graph) Stats {
 		if st.Iterations > limit {
 			panic(fmt.Sprintf("am: no fixpoint after %d iterations (termination bug)", limit))
 		}
-		before := g.Encode()
-		hoisted := aht.Apply(g)
-		st.Eliminated += rae.EliminateBlocks(g)
-		if !hoisted && g.Encode() == before {
-			return st
-		}
-		if g.Encode() == before {
+		hoisted := aht.ApplyWith(g, s, nil)
+		removed := rae.EliminateBlocksWith(g, s)
+		st.Eliminated += removed
+		// aht's report is textual-change-precise and rae only deletes, so a
+		// hoisting round can never be silently undone by the elimination
+		// that follows it: no change in either procedure is the fixpoint.
+		if !hoisted && removed == 0 {
 			return st
 		}
 	}
@@ -66,14 +85,16 @@ func RunBounded(g *ir.Graph, maxIterations int) Stats {
 	if maxIterations <= 0 {
 		maxIterations = 1
 	}
+	s := analysis.NewSession()
+	defer s.Close()
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
 	for st.Iterations < maxIterations {
 		st.Iterations++
-		before := g.Encode()
-		aht.Apply(g)
-		st.Eliminated += rae.EliminateBlocks(g)
-		if g.Encode() == before {
+		hoisted := aht.ApplyWith(g, s, nil)
+		removed := rae.EliminateBlocksWith(g, s)
+		st.Eliminated += removed
+		if !hoisted && removed == 0 {
 			return st
 		}
 	}
@@ -85,6 +106,8 @@ func RunBounded(g *ir.Graph, maxIterations int) Stats {
 // confluence of the rewrite relation (Lemma 3.6) both orders reach
 // cost-equivalent fixpoints; the verify package checks this empirically.
 func RunEliminateFirst(g *ir.Graph) Stats {
+	s := analysis.NewSession()
+	defer s.Close()
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
 	limit := iterationLimit(g)
@@ -93,10 +116,10 @@ func RunEliminateFirst(g *ir.Graph) Stats {
 		if st.Iterations > limit {
 			panic(fmt.Sprintf("am: no fixpoint after %d iterations (termination bug)", limit))
 		}
-		before := g.Encode()
-		st.Eliminated += rae.EliminateBlocks(g)
-		aht.Apply(g)
-		if g.Encode() == before {
+		removed := rae.EliminateBlocksWith(g, s)
+		st.Eliminated += removed
+		hoisted := aht.ApplyWith(g, s, nil)
+		if removed == 0 && !hoisted {
 			return st
 		}
 	}
@@ -110,6 +133,8 @@ func RunEliminateFirst(g *ir.Graph) Stats {
 // elimination itself is always applied — the restriction is on hoisting
 // only, matching [6].
 func RunRestricted(g *ir.Graph) Stats {
+	s := analysis.NewSession()
+	defer s.Close()
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
 	limit := iterationLimit(g)
@@ -118,17 +143,25 @@ func RunRestricted(g *ir.Graph) Stats {
 		if st.Iterations > limit {
 			panic(fmt.Sprintf("am: restricted AM did not stabilize after %d iterations", limit))
 		}
-		before := g.Encode()
-		st.Eliminated += rae.EliminateBlocks(g)
+		removed := rae.EliminateBlocksWith(g, s)
+		st.Eliminated += removed
+		changed := removed > 0
 
-		u := ir.AssignUniverse(g)
+		// The session universe may carry patterns whose occurrences are all
+		// gone by now; CountPattern is 0 for those, so profitable rejects
+		// them and the stale entries are harmless.
+		u, _ := s.Universe(g)
 		for _, p := range u.Patterns() {
 			if profitable(g, p) {
-				aht.ApplyMasked(g, func(q ir.AssignPattern) bool { return q.Key() == p.Key() })
-				st.Eliminated += rae.EliminateBlocks(g)
+				if aht.ApplyWith(g, s, func(q ir.AssignPattern) bool { return q == p }) {
+					changed = true
+				}
+				r := rae.EliminateBlocksWith(g, s)
+				st.Eliminated += r
+				changed = changed || r > 0
 			}
 		}
-		if g.Encode() == before {
+		if !changed {
 			return st
 		}
 	}
@@ -136,13 +169,15 @@ func RunRestricted(g *ir.Graph) Stats {
 
 // profitable reports whether hoisting pattern p followed by elimination
 // strictly decreases p's occurrence count — Dhamdhere's admission test.
+// The trial runs on a clone with the uncached nil-session path; sharing
+// the caller's session would rebind its caches to the throwaway graph.
 func profitable(g *ir.Graph, p ir.AssignPattern) bool {
 	trial := g.Clone()
 	before := trial.CountPattern(p)
 	if before == 0 {
 		return false
 	}
-	aht.ApplyMasked(trial, func(q ir.AssignPattern) bool { return q.Key() == p.Key() })
+	aht.ApplyMasked(trial, func(q ir.AssignPattern) bool { return q == p })
 	rae.EliminateBlocks(trial)
 	return trial.CountPattern(p) < before
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"assignmentmotion/internal/arena"
 	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/ir"
 )
@@ -130,13 +131,24 @@ func (px *PatternIndex) orUseBlocks(t *ir.Term, dst bitvec.Vec) {
 
 // BlockLocals computes Table 1's LOC-HOISTABLE and LOC-BLOCKED vectors for
 // block b in one forward walk, also returning the block-local candidate
-// instruction index per pattern (for the insertion step's removals).
-// Candidates: the first occurrence of a pattern not preceded by a blocker.
-func (px *PatternIndex) BlockLocals(b *ir.Block) (locHoistable, locBlocked bitvec.Vec, candidates map[int]int) {
+// instruction index per pattern (-1 when the pattern has no candidate in
+// b), for the insertion step's removals. Candidates: the first occurrence
+// of a pattern not preceded by a blocker.
+func (px *PatternIndex) BlockLocals(b *ir.Block) (locHoistable, locBlocked bitvec.Vec, candidates []int) {
+	return px.BlockLocalsArena(b, nil)
+}
+
+// BlockLocalsArena is BlockLocals with the vectors and the candidate table
+// carved from ar (heap when nil), for the hoisting fixpoint's per-round
+// analysis.
+func (px *PatternIndex) BlockLocalsArena(b *ir.Block, ar *arena.Arena) (locHoistable, locBlocked bitvec.Vec, candidates []int) {
 	bits := px.U.Len()
-	locHoistable = bitvec.New(bits)
-	locBlocked = bitvec.New(bits)
-	candidates = map[int]int{}
+	locHoistable = ar.Vec(bits)
+	locBlocked = ar.Vec(bits)
+	candidates = ar.Ints(bits)
+	for id := range candidates {
+		candidates[id] = -1
+	}
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
 		if id, ok := px.OccID(in); ok && !locBlocked.Get(id) && !locHoistable.Get(id) {

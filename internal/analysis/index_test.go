@@ -70,7 +70,7 @@ func TestIndexMatchesPredicates(t *testing.T) {
 					t.Fatalf("seed %d block %s: LocBlocked bit %d disagrees", seed, b.Name, id)
 				}
 				k, ok := CandidateIndex(b, p)
-				ck, cok := cands[id]
+				ck, cok := cands[id], cands[id] >= 0
 				if ok != cok || (ok && k != ck) {
 					t.Fatalf("seed %d block %s: candidate for %v: %d/%v vs %d/%v",
 						seed, b.Name, p, k, ok, ck, cok)

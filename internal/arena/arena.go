@@ -1,0 +1,146 @@
+// Package arena provides reusable backing storage for the dataflow solver
+// and the analyses built on top of it.
+//
+// Every bit-vector analysis in this module allocates the same shape of data
+// per run: O(N) vectors of a fixed width, plus a few integer work arrays.
+// The assignment-motion fixpoint (internal/am) re-runs the aht and rae
+// analyses many times over one graph, so allocating that storage fresh each
+// round dominated the allocation profile of Optimize (see BENCH_engine.json,
+// PR 1 baseline). An Arena is a bump allocator over three flat stores —
+// []uint64 for vector words, []int for worklists and orders, []bitvec.Vec
+// for result headers — that a pass acquires once (via the sync.Pool) and
+// rewinds between rounds with Mark/Release. In the steady state of an AM
+// fixpoint the arena has warmed up to the high-water mark of one round and
+// further rounds allocate nothing.
+//
+// All methods are nil-safe: a nil *Arena falls back to plain heap
+// allocations, so code paths that are not perf-critical (tests, one-shot
+// diagnostics) can pass nil and stay simple.
+package arena
+
+import (
+	"sync"
+
+	"assignmentmotion/internal/bitvec"
+)
+
+// Arena is a bump allocator. The zero value is ready to use. An Arena must
+// not be used from more than one goroutine at a time.
+type Arena struct {
+	words []uint64
+	ints  []int
+	vecs  []bitvec.Vec
+	wOff  int
+	iOff  int
+	vOff  int
+}
+
+// Mark is a rewind point returned by (*Arena).Mark.
+type Mark struct{ w, i, v int }
+
+// Mark records the current allocation offsets. Storage carved after a Mark
+// is reclaimed by the matching Release.
+func (a *Arena) Mark() Mark {
+	if a == nil {
+		return Mark{}
+	}
+	return Mark{w: a.wOff, i: a.iOff, v: a.vOff}
+}
+
+// Release rewinds the arena to m. Slices carved since the mark must no
+// longer be used; their storage will be handed out again.
+func (a *Arena) Release(m Mark) {
+	if a == nil {
+		return
+	}
+	a.wOff, a.iOff, a.vOff = m.w, m.i, m.v
+}
+
+// Reset rewinds the arena to empty, keeping its capacity.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.wOff, a.iOff, a.vOff = 0, 0, 0
+}
+
+// Words carves a zeroed []uint64 of length n.
+func (a *Arena) Words(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	if a.wOff+n > len(a.words) {
+		grow(&a.words, a.wOff, n)
+	}
+	s := a.words[a.wOff : a.wOff+n : a.wOff+n]
+	a.wOff += n
+	clear(s)
+	return s
+}
+
+// Ints carves a zeroed []int of length n.
+func (a *Arena) Ints(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	if a.iOff+n > len(a.ints) {
+		grow(&a.ints, a.iOff, n)
+	}
+	s := a.ints[a.iOff : a.iOff+n : a.iOff+n]
+	a.iOff += n
+	clear(s)
+	return s
+}
+
+// Vecs carves a zeroed []bitvec.Vec of length n (headers only; the vectors
+// themselves are carved individually with Vec).
+func (a *Arena) Vecs(n int) []bitvec.Vec {
+	if a == nil {
+		return make([]bitvec.Vec, n)
+	}
+	if a.vOff+n > len(a.vecs) {
+		grow(&a.vecs, a.vOff, n)
+	}
+	s := a.vecs[a.vOff : a.vOff+n : a.vOff+n]
+	a.vOff += n
+	clear(s)
+	return s
+}
+
+// Vec carves a zeroed bit vector of the given width.
+func (a *Arena) Vec(bits int) bitvec.Vec {
+	if a == nil {
+		return bitvec.New(bits)
+	}
+	return bitvec.Wrap(bits, a.Words(bitvec.WordsFor(bits)))
+}
+
+// grow replaces *store with a larger backing array. Slices carved before
+// the growth keep pointing into the old array and stay valid; only their
+// storage is not reclaimed until the next warm cycle.
+func grow[T any](store *[]T, off, need int) {
+	size := 2*len(*store) + need
+	if size < 64 {
+		size = 64
+	}
+	next := make([]T, size)
+	copy(next, (*store)[:off])
+	*store = next
+}
+
+var pool = sync.Pool{New: func() any { return &Arena{} }}
+
+// Get returns an empty arena from the process-wide pool.
+func Get() *Arena {
+	a := pool.Get().(*Arena)
+	a.Reset()
+	return a
+}
+
+// Put returns a to the pool. Passing nil is a no-op. The caller must not
+// retain any slice carved from a.
+func Put(a *Arena) {
+	if a != nil {
+		pool.Put(a)
+	}
+}

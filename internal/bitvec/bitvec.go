@@ -26,7 +26,26 @@ func New(n int) Vec {
 	if n < 0 {
 		panic("bitvec: negative length")
 	}
-	return Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+	return Vec{n: n, words: make([]uint64, WordsFor(n))}
+}
+
+// WordsFor returns the number of 64-bit words backing an n-bit vector.
+func WordsFor(n int) int {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// Wrap returns an n-bit vector backed by words, which must have exactly
+// WordsFor(n) elements. The contents are used as-is and the storage is
+// shared with the caller — this is how the solver arena carves vectors out
+// of one flat allocation.
+func Wrap(n int, words []uint64) Vec {
+	if len(words) != WordsFor(n) {
+		panic("bitvec: Wrap with wrong word count")
+	}
+	return Vec{n: n, words: words}
 }
 
 // NewFull returns a vector with all n bits set.

@@ -23,6 +23,7 @@ package core
 
 import (
 	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/ir"
 )
@@ -45,8 +46,13 @@ func Optimize(g *ir.Graph) Result {
 	var res Result
 	g.SplitCriticalEdges()
 	res.Decomposed = Initialize(g)
-	res.AM = am.Run(g)
-	res.Flush = flush.Run(g)
+	// One session carries the arena, pattern universe, and iteration orders
+	// across the whole run: every aht/rae round of the motion fixpoint and
+	// the final flush draw from the same pooled storage.
+	s := analysis.NewSession()
+	defer s.Close()
+	res.AM = am.RunWith(g, s)
+	res.Flush = flush.RunWith(g, s)
 	return res
 }
 

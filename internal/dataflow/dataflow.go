@@ -4,9 +4,21 @@
 // delayability and usability (Table 3), plus the lazy-code-motion analyses
 // of the EM baseline — instantiate this solver, either at the instruction
 // level (via analysis.Prog) or the basic-block level.
+//
+// The solver visits nodes in reverse postorder of the flow direction
+// (classic RPO for forward problems, RPO of the reversed graph for
+// backward ones), sweeping the order and revisiting only nodes whose
+// input changed: facts propagate along long acyclic stretches in a single
+// pass and only back edges force another sweep. A FIFO worklist is kept
+// behind Problem.FIFO for the order-equivalence property tests and the
+// sweep-count benchmarks; both strategies reach the identical fixpoint
+// because the transfer functions are monotone over a finite lattice.
 package dataflow
 
-import "assignmentmotion/internal/bitvec"
+import (
+	"assignmentmotion/internal/arena"
+	"assignmentmotion/internal/bitvec"
+)
 
 // Direction selects information flow.
 type Direction int
@@ -51,17 +63,94 @@ type Problem struct {
 	// the meet identity (full for All, empty for Any) — which for All is
 	// almost never what an analysis wants, so most callers set it.
 	Boundary func(i int, in bitvec.Vec)
+
+	// Order optionally supplies the visit priority: a permutation of
+	// [0,N) listing nodes in the order they should be processed (reverse
+	// postorder of the flow direction converges fastest). When nil, Solve
+	// computes it from the adjacency itself. Callers that solve many
+	// problems over one unchanged graph should compute the order once
+	// (see FlowOrder) and share it.
+	Order []int
+	// Arena optionally supplies reusable backing storage for the In/Out
+	// vectors and the solver's internal work arrays. The Result then
+	// points into the arena: it is valid until the arena is released or
+	// reset. A nil arena means plain heap allocation.
+	Arena *arena.Arena
+	// FIFO selects the legacy first-in-first-out worklist instead of the
+	// priority order. It exists for the order-equivalence property tests
+	// and the sweep-count benchmarks; production analyses leave it false.
+	FIFO bool
 }
 
 // Result carries the fixpoint solution. For a Forward problem In[i] is the
 // fact at the node's entry and Out[i] at its exit; for Backward problems
 // In[i] is the fact at the node's *exit* (facts flow in from successors)
-// and Out[i] at its *entry*.
+// and Out[i] at its *entry*. When the problem supplied an arena the
+// vectors live in it and are invalidated by its release.
 type Result struct {
 	In  []bitvec.Vec
 	Out []bitvec.Vec
-	// Sweeps counts worklist passes; exposed for complexity experiments.
+	// Visits counts node transfer evaluations until the fixpoint.
+	Visits int
+	// Sweeps counts monotone passes over the visit order: 1 for an acyclic
+	// graph in topological order, +1 for every extra pass a back edge
+	// forces. Zero in FIFO mode, which has no notion of a pass. Exposed
+	// for the complexity experiments.
 	Sweeps int
+}
+
+// FlowOrder returns the visit priority for a problem of n nodes flowing
+// along next (Succs for forward problems, Preds for backward ones):
+// reverse postorder of the graph spanned by next, rooted at roots. Nodes
+// unreachable from the roots are appended via depth-first walks started
+// from each in index order, so the result is always a permutation of
+// [0,n).
+func FlowOrder(n int, roots []int, next func(int) []int) []int {
+	order := make([]int, 0, n)
+	state := make([]byte, n) // 0 unseen, 1 on stack, 2 done
+	type frame struct {
+		node int
+		edge int
+	}
+	stack := make([]frame, 0, 16)
+	visit := func(root int) {
+		if state[root] != 0 {
+			return
+		}
+		state[root] = 1
+		stack = append(stack, frame{node: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ns := next(f.node)
+			advanced := false
+			for f.edge < len(ns) {
+				m := ns[f.edge]
+				f.edge++
+				if state[m] == 0 {
+					state[m] = 1
+					stack = append(stack, frame{node: m})
+					advanced = true
+					break
+				}
+			}
+			if !advanced && f.edge >= len(ns) {
+				state[f.node] = 2
+				order = append(order, f.node)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	for i := 0; i < n; i++ {
+		visit(i)
+	}
+	// Reverse the postorder in place.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
 }
 
 // Solve runs the worklist algorithm to the fixpoint.
@@ -71,11 +160,12 @@ func Solve(p Problem) Result {
 		upstream, downstream = p.Succs, p.Preds
 	}
 
-	in := make([]bitvec.Vec, p.N)
-	out := make([]bitvec.Vec, p.N)
+	ar := p.Arena
+	in := ar.Vecs(p.N)
+	out := ar.Vecs(p.N)
 	for i := 0; i < p.N; i++ {
-		in[i] = bitvec.New(p.Bits)
-		out[i] = bitvec.New(p.Bits)
+		in[i] = ar.Vec(p.Bits)
+		out[i] = ar.Vec(p.Bits)
 		if p.Meet == All {
 			// Greatest fixpoint: start optimistic and shrink, so facts
 			// around cycles are not lost.
@@ -84,27 +174,23 @@ func Solve(p Problem) Result {
 		}
 	}
 
-	// Seed every node once; the worklist then tracks whose input changed.
-	work := make([]int, 0, p.N)
-	inWork := make([]bool, p.N)
-	push := func(i int) {
-		if !inWork[i] {
-			inWork[i] = true
-			work = append(work, i)
+	order := p.Order
+	if order == nil && !p.FIFO {
+		var roots []int
+		for i := 0; i < p.N; i++ {
+			if len(upstream(i)) == 0 {
+				roots = append(roots, i)
+			}
 		}
-	}
-	for i := 0; i < p.N; i++ {
-		push(i)
+		order = FlowOrder(p.N, roots, downstream)
 	}
 
-	scratch := bitvec.New(p.Bits)
-	sweeps := 0
-	for len(work) > 0 {
-		sweeps++
-		i := work[0]
-		work = work[1:]
-		inWork[i] = false
-
+	scratch := ar.Vec(p.Bits)
+	visits := 0
+	// apply meets node i's inputs, runs the transfer, and reports whether
+	// the outgoing fact changed.
+	apply := func(i int) bool {
+		visits++
 		ups := upstream(i)
 		if len(ups) == 0 {
 			if p.Meet == All {
@@ -128,15 +214,73 @@ func Solve(p Problem) Result {
 				}
 			}
 		}
-
 		scratch.ClearAll()
 		p.Transfer(i, in[i], scratch)
-		if !scratch.Equal(out[i]) {
-			out[i].CopyFrom(scratch)
-			for _, d := range downstream(i) {
-				push(d)
+		if scratch.Equal(out[i]) {
+			return false
+		}
+		out[i].CopyFrom(scratch)
+		return true
+	}
+
+	if p.FIFO || order == nil {
+		// Legacy FIFO worklist: a ring queue with membership dedupe.
+		work := ar.Ints(p.N)[:0]
+		inWork := ar.Vec(p.N)
+		var head int
+		push := func(i int) {
+			if !inWork.Get(i) {
+				inWork.Set(i)
+				work = append(work, i)
+			}
+		}
+		for i := 0; i < p.N; i++ {
+			push(i)
+		}
+		for len(work)-head > 0 {
+			i := work[head]
+			head++
+			if head == len(work) { // drained: rewind the ring
+				work, head = work[:0], 0
+			}
+			inWork.Clear(i)
+			if apply(i) {
+				for _, d := range downstream(i) {
+					push(d)
+				}
+			}
+		}
+		return Result{In: in, Out: out, Visits: visits, Sweeps: 0}
+	}
+
+	// Priority mode: monotone sweeps over the visit order, revisiting only
+	// nodes whose input changed. A downstream node later in the current
+	// sweep is picked up in place; one earlier (a back edge) waits for the
+	// next sweep. An acyclic graph in topological order converges in a
+	// single sweep.
+	dirty := ar.Vec(p.N)
+	for i := 0; i < p.N; i++ {
+		dirty.Set(i)
+	}
+	pending := p.N
+	sweeps := 0
+	for pending > 0 {
+		sweeps++
+		for _, i := range order {
+			if !dirty.Get(i) {
+				continue
+			}
+			dirty.Clear(i)
+			pending--
+			if apply(i) {
+				for _, d := range downstream(i) {
+					if !dirty.Get(d) {
+						dirty.Set(d)
+						pending++
+					}
+				}
 			}
 		}
 	}
-	return Result{In: in, Out: out, Sweeps: sweeps}
+	return Result{In: in, Out: out, Visits: visits, Sweeps: sweeps}
 }

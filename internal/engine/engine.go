@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/ir"
@@ -335,6 +336,11 @@ func (e *Engine) compute(ctx context.Context, g *ir.Graph) (*ir.Graph, core.Resu
 		clone := g.Clone()
 		clone.SplitCriticalEdges()
 
+		// One analysis session for all phases: the AM fixpoint and the
+		// final flush share the pooled arena and the universe caches.
+		s := analysis.NewSession()
+		defer s.Close()
+
 		t := time.Now()
 		c.res.Decomposed = core.Initialize(clone)
 		c.tm.Init = time.Since(t)
@@ -344,7 +350,7 @@ func (e *Engine) compute(ctx context.Context, g *ir.Graph) (*ir.Graph, core.Resu
 		}
 
 		t = time.Now()
-		c.res.AM = am.Run(clone)
+		c.res.AM = am.RunWith(clone, s)
 		c.tm.AM = time.Since(t)
 		if err := ctx.Err(); err != nil {
 			ch <- computation{err: err}
@@ -352,7 +358,7 @@ func (e *Engine) compute(ctx context.Context, g *ir.Graph) (*ir.Graph, core.Resu
 		}
 
 		t = time.Now()
-		c.res.Flush = flush.Run(clone)
+		c.res.Flush = flush.RunWith(clone, s)
 		c.tm.Flush = time.Since(t)
 
 		c.g = clone

@@ -60,7 +60,15 @@ type Info struct {
 
 // Analyze computes the delayability and usability analyses for g.
 func Analyze(g *ir.Graph) *Info {
+	return AnalyzeWith(g, nil)
+}
+
+// AnalyzeWith is Analyze with all bit-vector storage carved from session
+// s's arena (heap when s is nil). The result shares the arena and must be
+// consumed before it is released.
+func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 	prog := analysis.NewProg(g)
+	ar := s.Arena()
 	temps := g.Temps()
 	exprs := make([]ir.Term, len(temps))
 	for i, h := range temps {
@@ -73,13 +81,13 @@ func Analyze(g *ir.Graph) *Info {
 	info := &Info{Prog: prog, Temps: temps, Exprs: exprs}
 	n, bits := prog.Len(), len(temps)
 
-	isInst := make([]bitvec.Vec, n)
-	used := make([]bitvec.Vec, n)
-	blocked := make([]bitvec.Vec, n)
+	isInst := ar.Vecs(n)
+	used := ar.Vecs(n)
+	blocked := ar.Vecs(n)
 	for i := 0; i < n; i++ {
-		isInst[i] = bitvec.New(bits)
-		used[i] = bitvec.New(bits)
-		blocked[i] = bitvec.New(bits)
+		isInst[i] = ar.Vec(bits)
+		used[i] = ar.Vec(bits)
+		blocked[i] = ar.Vec(bits)
 		in := &prog.Ins[i]
 		for t, h := range temps {
 			if analysis.IsInst(in, h, exprs[t]) {
@@ -99,6 +107,7 @@ func Analyze(g *ir.Graph) *Info {
 	delay := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
 		Preds: prog.Preds, Succs: prog.Succs,
+		Arena: ar,
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			out.AndNot(used[i])
@@ -116,6 +125,7 @@ func Analyze(g *ir.Graph) *Info {
 	use := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
 		Preds: prog.Preds, Succs: prog.Succs,
+		Arena: ar,
 		// Backward: solver "in" is the fact at the instruction's exit
 		// (X-USABLE), "out" at its entry (N-USABLE).
 		Transfer: func(i int, in, out bitvec.Vec) {
@@ -126,18 +136,22 @@ func Analyze(g *ir.Graph) *Info {
 	})
 	info.XUsable, info.NUsable = use.In, use.Out
 
-	info.NLatest = make([]bitvec.Vec, n)
-	info.XLatest = make([]bitvec.Vec, n)
+	info.NLatest = ar.Vecs(n)
+	info.XLatest = ar.Vecs(n)
+	stop := ar.Vec(bits)
+	allDelay := ar.Vec(bits)
 	for i := 0; i < n; i++ {
-		nl := info.NDelayable[i].Copy()
-		stop := used[i].Copy()
+		nl := ar.Vec(bits)
+		nl.CopyFrom(info.NDelayable[i])
+		stop.CopyFrom(used[i])
 		stop.Or(blocked[i])
 		nl.And(stop)
 		info.NLatest[i] = nl
 
-		xl := info.XDelayable[i].Copy()
+		xl := ar.Vec(bits)
+		xl.CopyFrom(info.XDelayable[i])
 		succs := prog.Succs(i)
-		allDelay := bitvec.NewFull(bits)
+		allDelay.SetAll()
 		for _, s := range succs {
 			allDelay.And(info.NDelayable[s])
 		}
@@ -167,7 +181,17 @@ type Stats struct {
 
 // Run applies the final flush to g in place.
 func Run(g *ir.Graph) Stats {
-	info := Analyze(g)
+	return RunWith(g, nil)
+}
+
+// RunWith is Run drawing analysis storage from session s; the arena is
+// rewound before returning, so a flush inside a warmed-up Optimize call
+// allocates only the rewritten instruction slices.
+func RunWith(g *ir.Graph, s *analysis.Session) Stats {
+	ar := s.Arena()
+	m := ar.Mark()
+	defer ar.Release(m)
+	info := AnalyzeWith(g, s)
 	var st Stats
 	bits := len(info.Temps)
 	if bits == 0 {

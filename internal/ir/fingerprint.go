@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -60,6 +61,11 @@ func (g *Graph) Fingerprint() Fingerprint {
 
 	h := sha256.New()
 	fmt.Fprintf(h, "entry %d exit %d\n", rank[g.Entry], rank[g.Exit])
+	// The block serialization is the exact one Encode uses (see
+	// writeBlocksCanon), only in canonical order and under rank names.
+	writeBlocksCanon(h, order, func(id NodeID) string {
+		return "n" + strconv.Itoa(rank[id])
+	})
 	var temps []Var
 	seen := map[Var]bool{}
 	note := func(v Var) {
@@ -68,28 +74,17 @@ func (g *Graph) Fingerprint() Fingerprint {
 			temps = append(temps, v)
 		}
 	}
+	var uses []Var
 	for _, b := range order {
-		fmt.Fprintf(h, "n%d[", rank[b.ID])
-		for i, in := range b.Instrs {
-			if i > 0 {
-				h.Write([]byte{';'})
-			}
-			h.Write([]byte(in.Key()))
-			for _, v := range in.Uses(nil) {
+		for i := range b.Instrs {
+			uses = b.Instrs[i].Uses(uses[:0])
+			for _, v := range uses {
 				note(v)
 			}
-			if v, ok := in.Defs(); ok {
+			if v, ok := b.Instrs[i].Defs(); ok {
 				note(v)
 			}
 		}
-		h.Write([]byte("]->"))
-		for i, s := range b.Succs {
-			if i > 0 {
-				h.Write([]byte{','})
-			}
-			fmt.Fprintf(h, "n%d", rank[s])
-		}
-		h.Write([]byte{'\n'})
 	}
 	// Temporary bindings are semantic state (IsTemp / TempExpr steer the
 	// phases), so occurring temporaries contribute their bound patterns.

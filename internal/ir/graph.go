@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
@@ -39,17 +40,42 @@ type Graph struct {
 	Entry  NodeID
 	Exit   NodeID
 
-	tempByExpr map[string]Var // expression-pattern key -> temporary
+	tempByExpr map[Term]Var // expression pattern -> temporary
 	exprByTemp map[Var]Term   // temporary -> expression pattern
 	nextTemp   int
 	nextSynth  int
+
+	// version counts graph mutations; structVersion counts only the
+	// structural ones (blocks and edges). See Version.
+	version       uint64
+	structVersion uint64
 }
+
+// Version returns a counter bumped by every mutating graph operation:
+// block and edge insertion, edge splitting, temp registration, Normalize,
+// and Tidy. Analyses use it to revalidate caches (pattern universes,
+// iteration orders) instead of re-deriving them from scratch. Code that
+// rewrites Block.Instrs directly must call Normalize afterwards — which
+// the no-empty-blocks invariant demands anyway — so instruction-level
+// mutations are always accompanied by a bump.
+func (g *Graph) Version() uint64 { return g.version }
+
+// StructVersion returns a counter bumped only when the node/edge structure
+// changes (AddBlock, AddEdge, SplitCriticalEdges, Tidy). Instruction-level
+// rewrites leave it untouched, so per-graph iteration orders stay valid
+// across the rounds of a motion fixpoint.
+func (g *Graph) StructVersion() uint64 { return g.structVersion }
+
+// MarkModified bumps the mutation counter. Passes that rewrite the graph
+// through means the Graph cannot observe (direct Block.Instrs writes
+// without a Normalize) can use it to keep Version honest.
+func (g *Graph) MarkModified() { g.version++ }
 
 // NewGraph returns an empty graph with the given name.
 func NewGraph(name string) *Graph {
 	return &Graph{
 		Name:       name,
-		tempByExpr: map[string]Var{},
+		tempByExpr: map[Term]Var{},
 		exprByTemp: map[Var]Term{},
 		nextTemp:   1,
 		nextSynth:  1,
@@ -64,6 +90,8 @@ func (g *Graph) AddBlock(name string) *Block {
 	}
 	b := &Block{ID: NodeID(len(g.Blocks)), Name: name}
 	g.Blocks = append(g.Blocks, b)
+	g.version++
+	g.structVersion++
 	return b
 }
 
@@ -85,6 +113,8 @@ func (g *Graph) BlockByName(name string) *Block {
 func (g *Graph) AddEdge(from, to NodeID) {
 	g.Block(from).Succs = append(g.Block(from).Succs, to)
 	g.Block(to).Preds = append(g.Block(to).Preds, from)
+	g.version++
+	g.structVersion++
 }
 
 // EntryBlock returns the start node s.
@@ -100,14 +130,14 @@ func (g *Graph) TempFor(expr Term) Var {
 	if expr.Trivial() {
 		panic("ir: TempFor on trivial term")
 	}
-	key := expr.Key()
-	if h, ok := g.tempByExpr[key]; ok {
+	if h, ok := g.tempByExpr[expr]; ok {
 		return h
 	}
 	h := Var(fmt.Sprintf("%s%d", tempPrefix, g.nextTemp))
 	g.nextTemp++
-	g.tempByExpr[key] = h
+	g.tempByExpr[expr] = h
 	g.exprByTemp[h] = expr
+	g.version++
 	return h
 }
 
@@ -154,11 +184,12 @@ func (g *Graph) RegisterTemp(h Var, expr Term) {
 		}
 		return
 	}
-	if prev, ok := g.tempByExpr[expr.Key()]; ok && prev != h {
+	if prev, ok := g.tempByExpr[expr]; ok && prev != h {
 		panic(fmt.Sprintf("ir: expression %s already bound to %s", expr, prev))
 	}
 	g.exprByTemp[h] = expr
-	g.tempByExpr[expr.Key()] = h
+	g.tempByExpr[expr] = h
+	g.version++
 	if IsTempName(h) && tempNum(h) >= g.nextTemp {
 		g.nextTemp = tempNum(h) + 1
 	}
@@ -204,6 +235,7 @@ func (g *Graph) SourceVars() []Var {
 // block carries at least one instruction. The instruction-level analyses
 // rely on this invariant. It returns g for chaining.
 func (g *Graph) Normalize() *Graph {
+	g.version++
 	for _, b := range g.Blocks {
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
@@ -220,27 +252,39 @@ func (g *Graph) Normalize() *Graph {
 }
 
 // Encode returns a canonical, deterministic rendering of the graph used for
-// change detection in fixpoint loops and structural comparison in tests.
+// structural comparison in tests and diagnostics. (The fixpoint loops of
+// the motion passes no longer re-encode the graph to detect change; they
+// use the precise change signals of aht.Apply and rae elimination counts.)
 func (g *Graph) Encode() string {
 	var sb strings.Builder
-	for _, b := range g.Blocks {
-		fmt.Fprintf(&sb, "%s[", b.Name)
+	writeBlocksCanon(&sb, g.Blocks, func(id NodeID) string { return g.Block(id).Name })
+	return sb.String()
+}
+
+// writeBlocksCanon writes the shared canonical block rendering —
+// "name[instr;instr]->succ,succ\n" per block, in the given order, naming
+// blocks via name — to w. It is the single serialization used by both
+// Encode (declaration order, source names) and Fingerprint (canonical DFS
+// order, rank names), so the printer and the cache key cannot drift.
+func writeBlocksCanon(w io.Writer, blocks []*Block, name func(NodeID) string) {
+	for _, b := range blocks {
+		io.WriteString(w, name(b.ID))
+		io.WriteString(w, "[")
 		for i, in := range b.Instrs {
 			if i > 0 {
-				sb.WriteByte(';')
+				io.WriteString(w, ";")
 			}
-			sb.WriteString(in.Key())
+			io.WriteString(w, in.Key())
 		}
-		sb.WriteString("]->")
+		io.WriteString(w, "]->")
 		for i, s := range b.Succs {
 			if i > 0 {
-				sb.WriteByte(',')
+				io.WriteString(w, ",")
 			}
-			sb.WriteString(g.Block(s).Name)
+			io.WriteString(w, name(s))
 		}
-		sb.WriteByte('\n')
+		io.WriteString(w, "\n")
 	}
-	return sb.String()
 }
 
 // Clone returns a deep copy of g sharing no mutable state.
@@ -248,6 +292,7 @@ func (g *Graph) Clone() *Graph {
 	c := NewGraph(g.Name)
 	c.Entry, c.Exit = g.Entry, g.Exit
 	c.nextTemp, c.nextSynth = g.nextTemp, g.nextSynth
+	c.version, c.structVersion = g.version, g.structVersion
 	c.Blocks = make([]*Block, len(g.Blocks))
 	for i, b := range g.Blocks {
 		nb := &Block{ID: b.ID, Name: b.Name}
@@ -259,7 +304,7 @@ func (g *Graph) Clone() *Graph {
 	}
 	for h, e := range g.exprByTemp {
 		c.exprByTemp[h] = e
-		c.tempByExpr[e.Key()] = h
+		c.tempByExpr[e] = h
 	}
 	return c
 }

@@ -21,6 +21,10 @@ func (g *Graph) Tidy() int {
 		}
 		removed += n
 	}
+	if removed > 0 {
+		g.version++
+		g.structVersion++
+	}
 	return removed
 }
 

@@ -2,10 +2,13 @@ package ir
 
 // PatternSet is a dense-indexed universe of assignment patterns. All
 // bit-vector analyses over assignment patterns (Tables 1 and 2) index their
-// vectors by the pattern IDs of one PatternSet.
+// vectors by the pattern IDs of one PatternSet. AssignPattern is a
+// comparable value type, so the index maps the pattern itself — pattern
+// lookup (the single hottest map operation in the analyses) never
+// materializes a key string.
 type PatternSet struct {
 	pats  []AssignPattern
-	index map[string]int
+	index map[AssignPattern]int
 }
 
 // AssignUniverse collects every assignment pattern occurring in g, in
@@ -15,32 +18,45 @@ type PatternSet struct {
 // initialization phase, which materializes those occurrences before any
 // analysis runs.
 func AssignUniverse(g *Graph) *PatternSet {
-	u := &PatternSet{index: map[string]int{}}
+	u := &PatternSet{index: map[AssignPattern]int{}}
+	u.AddFrom(g)
+	return u
+}
+
+// AddFrom interns every assignment pattern occurring in g into u, keeping
+// existing IDs stable, and reports whether any new pattern appeared. The
+// motion fixpoints use it to revalidate a cached universe cheaply: aht
+// only re-inserts existing patterns and rae only removes occurrences, so
+// across the rounds of one fixpoint the scan is all map hits and the
+// universe (and the PatternIndex built from it) can be reused. Patterns
+// that no longer occur stay in the set; their bits are simply never set by
+// any local predicate, which is sound for every analysis in this module.
+func (u *PatternSet) AddFrom(g *Graph) bool {
+	before := len(u.pats)
 	for _, b := range g.Blocks {
-		for _, in := range b.Instrs {
-			if in.Kind == KindAssign {
-				u.Intern(in.Pattern())
+		for i := range b.Instrs {
+			if b.Instrs[i].Kind == KindAssign {
+				u.Intern(b.Instrs[i].Pattern())
 			}
 		}
 	}
-	return u
+	return len(u.pats) != before
 }
 
 // Intern adds p to the universe if absent and returns its dense ID.
 func (u *PatternSet) Intern(p AssignPattern) int {
-	key := p.Key()
-	if id, ok := u.index[key]; ok {
+	if id, ok := u.index[p]; ok {
 		return id
 	}
 	id := len(u.pats)
 	u.pats = append(u.pats, p)
-	u.index[key] = id
+	u.index[p] = id
 	return id
 }
 
 // ID returns the dense ID of p and whether it is in the universe.
 func (u *PatternSet) ID(p AssignPattern) (int, bool) {
-	id, ok := u.index[p.Key()]
+	id, ok := u.index[p]
 	return id, ok
 }
 
@@ -62,14 +78,14 @@ func (u *PatternSet) Patterns() []AssignPattern { return u.pats }
 // terms), the paper's EP.
 type ExprSet struct {
 	exprs []Term
-	index map[string]int
+	index map[Term]int
 }
 
 // ExprUniverse collects every expression pattern occurring in g: the
 // non-trivial right-hand sides of assignments and the non-trivial sides of
 // branch conditions, in deterministic program order.
 func ExprUniverse(g *Graph) *ExprSet {
-	u := &ExprSet{index: map[string]int{}}
+	u := &ExprSet{index: map[Term]int{}}
 	var terms []Term
 	for _, b := range g.Blocks {
 		for _, in := range b.Instrs {
@@ -90,19 +106,18 @@ func (u *ExprSet) Intern(e Term) int {
 	if e.Trivial() {
 		panic("ir: trivial term is not an expression pattern")
 	}
-	key := e.Key()
-	if id, ok := u.index[key]; ok {
+	if id, ok := u.index[e]; ok {
 		return id
 	}
 	id := len(u.exprs)
 	u.exprs = append(u.exprs, e)
-	u.index[key] = id
+	u.index[e] = id
 	return id
 }
 
 // ID returns the dense ID of ε and whether it is in the universe.
 func (u *ExprSet) ID(e Term) (int, bool) {
-	id, ok := u.index[e.Key()]
+	id, ok := u.index[e]
 	return id, ok
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"assignmentmotion/internal/aht"
+	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/ir"
@@ -50,6 +51,8 @@ func Run(g *ir.Graph) Stats {
 	g.SplitCriticalEdges()
 	st.Decomposed = core.Initialize(g)
 
+	s := analysis.NewSession()
+	defer s.Close()
 	isInit := func(p ir.AssignPattern) bool {
 		e, ok := g.TempExpr(p.LHS)
 		return ok && e.Equal(p.RHS)
@@ -61,13 +64,13 @@ func Run(g *ir.Graph) Stats {
 		if st.Iterations > limit {
 			panic(fmt.Sprintf("lcm: no fixpoint after %d iterations", limit))
 		}
-		before := g.Encode()
-		aht.ApplyMasked(g, isInit)
-		st.Eliminated += rae.EliminateMasked(g, isInit)
-		if g.Encode() == before {
+		hoisted := aht.ApplyWith(g, s, isInit)
+		removed := rae.EliminateMaskedWith(g, s, isInit)
+		st.Eliminated += removed
+		if !hoisted && removed == 0 {
 			break
 		}
 	}
-	st.Flush = flush.Run(g)
+	st.Flush = flush.RunWith(g, s)
 	return st
 }

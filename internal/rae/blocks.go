@@ -25,19 +25,33 @@ import (
 // same rae-fixpoint (checked by property tests); per-application counts
 // may differ on in-block chains.
 func EliminateBlocks(g *ir.Graph) int {
-	u := ir.AssignUniverse(g)
-	px := analysis.NewPatternIndex(u)
+	return EliminateBlocksWith(g, nil)
+}
+
+// EliminateBlocksWith is EliminateBlocks running against session s (nil
+// for the uncached path): the pattern universe, index, and iteration order
+// are reused across the rounds of a motion fixpoint and all analysis
+// storage comes from the session's arena, rewound before returning. The
+// returned count doubles as the precise change signal — the procedure only
+// ever removes instructions, so zero removals means the graph is
+// textually unchanged.
+func EliminateBlocksWith(g *ir.Graph, s *analysis.Session) int {
+	u, px := s.Universe(g)
 	n, bits := len(g.Blocks), u.Len()
 	if bits == 0 {
 		return 0
 	}
+	ar := s.Arena()
+	mark := ar.Mark()
+	defer ar.Release(mark)
+	bv := s.Blocks(g)
 	selfRef := px.SelfRef()
 
-	gen := make([]bitvec.Vec, n)
-	kill := make([]bitvec.Vec, n)
+	gen := ar.Vecs(n)
+	kill := ar.Vecs(n)
 	for i, b := range g.Blocks {
-		gen[i] = bitvec.New(bits)
-		kill[i] = bitvec.New(bits)
+		gen[i] = ar.Vec(bits)
+		kill[i] = ar.Vec(bits)
 		for k := range b.Instrs {
 			in := &b.Instrs[k]
 			px.AndNotKill(in, gen[i])
@@ -52,8 +66,10 @@ func EliminateBlocks(g *ir.Graph) int {
 	entry := int(g.Entry)
 	res := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
-		Preds: func(i int) []int { return blockIDs(g.Blocks[i].Preds) },
-		Succs: func(i int) []int { return blockIDs(g.Blocks[i].Succs) },
+		Preds: bv.Preds,
+		Succs: bv.Succs,
+		Order: bv.FwdOrder,
+		Arena: ar,
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			out.AndNot(kill[i])
@@ -67,7 +83,7 @@ func EliminateBlocks(g *ir.Graph) int {
 	})
 
 	removed := 0
-	avail := bitvec.New(bits)
+	avail := ar.Vec(bits)
 	for i, b := range g.Blocks {
 		avail.CopyFrom(res.In[i])
 		kept := b.Instrs[:0]
@@ -90,12 +106,4 @@ func EliminateBlocks(g *ir.Graph) int {
 	}
 	g.Normalize()
 	return removed
-}
-
-func blockIDs(ids []ir.NodeID) []int {
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = int(id)
-	}
-	return out
 }

@@ -38,15 +38,22 @@ type Info struct {
 
 // Analyze computes the redundancy analysis for g.
 func Analyze(g *ir.Graph) *Info {
+	return AnalyzeWith(g, nil)
+}
+
+// AnalyzeWith is Analyze drawing its pattern universe and vector storage
+// from session s (nil for the uncached path). The result shares the
+// session's arena and must be consumed before the arena is released.
+func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 	prog := analysis.NewProg(g)
-	u := ir.AssignUniverse(g)
-	px := analysis.NewPatternIndex(u)
+	u, px := s.Universe(g)
+	ar := s.Arena()
 	n, bits := prog.Len(), u.Len()
 
 	// Per-instruction GEN (the occurrence's own pattern, unless
 	// self-referential) as a single bit index; transparency is applied via
 	// the index's shared kill vectors.
-	genID := make([]int, n)
+	genID := ar.Ints(n)
 	selfRef := px.SelfRef()
 	for i := 0; i < n; i++ {
 		genID[i] = -1
@@ -63,6 +70,7 @@ func Analyze(g *ir.Graph) *Info {
 		Meet:  dataflow.All,
 		Preds: prog.Preds,
 		Succs: prog.Succs,
+		Arena: ar,
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			px.AndNotKill(&prog.Ins[i], out)
@@ -90,7 +98,18 @@ func Eliminate(g *ir.Graph) int {
 // accepted by mask (nil accepts all). The expression-motion baseline uses
 // this to eliminate only redundant temporary initializations h_ε := ε.
 func EliminateMasked(g *ir.Graph, mask func(ir.AssignPattern) bool) int {
-	info := Analyze(g)
+	return EliminateMaskedWith(g, nil, mask)
+}
+
+// EliminateMaskedWith is EliminateMasked running against session s: the
+// universe is reused across rounds and the analysis vectors come from the
+// session's arena, rewound before returning. The removal count is the
+// precise change signal (the procedure only removes instructions).
+func EliminateMaskedWith(g *ir.Graph, s *analysis.Session, mask func(ir.AssignPattern) bool) int {
+	ar := s.Arena()
+	m := ar.Mark()
+	defer ar.Release(m)
+	info := AnalyzeWith(g, s)
 	removed := 0
 	idx := 0
 	for _, b := range g.Blocks {
