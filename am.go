@@ -28,22 +28,31 @@ import (
 	"context"
 	"fmt"
 
-	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/cfggen"
-	"assignmentmotion/internal/copyprop"
 	"assignmentmotion/internal/core"
-	"assignmentmotion/internal/dce"
+	"assignmentmotion/internal/emcp"
 	"assignmentmotion/internal/engine"
-	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/interp"
 	"assignmentmotion/internal/ir"
-	"assignmentmotion/internal/lcm"
 	"assignmentmotion/internal/metrics"
-	"assignmentmotion/internal/mr"
 	"assignmentmotion/internal/parse"
-	"assignmentmotion/internal/pde"
+	"assignmentmotion/internal/pass"
 	"assignmentmotion/internal/printer"
 	"assignmentmotion/internal/verify"
+
+	// Every pass package registers itself with internal/pass in its init;
+	// these imports (several already pulled in transitively above) make the
+	// registry complete whenever the facade is linked in.
+	_ "assignmentmotion/internal/aht"
+	_ "assignmentmotion/internal/am"
+	_ "assignmentmotion/internal/copyprop"
+	_ "assignmentmotion/internal/dce"
+	_ "assignmentmotion/internal/flush"
+	_ "assignmentmotion/internal/lcm"
+	_ "assignmentmotion/internal/mr"
+	_ "assignmentmotion/internal/pde"
+	_ "assignmentmotion/internal/rae"
 )
 
 // Core IR types, re-exported for downstream use.
@@ -118,6 +127,10 @@ type BatchReport = engine.Report
 // BatchResult is the outcome of a single graph within a batch.
 type BatchResult = engine.GraphResult
 
+// BatchPassAggregate sums one pass's work across every computed job of a
+// batch (see BatchReport.Passes).
+type BatchPassAggregate = engine.PassAggregate
+
 // BatchEngine is a reusable concurrent optimizer whose content-addressed
 // result cache persists across batches. Construct with NewBatchEngine.
 type BatchEngine = engine.Engine
@@ -149,6 +162,10 @@ const (
 	PassAM Pass = "am"
 	// PassAMRestricted is Dhamdhere-style "immediately profitable" AM.
 	PassAMRestricted Pass = "am-restricted"
+	// PassAHT is a single assignment-hoisting step (Table 1).
+	PassAHT Pass = "aht"
+	// PassRAE is a single redundant-assignment-elimination step (Table 2).
+	PassRAE Pass = "rae"
 	// PassEM is the expression-motion baseline (lazy code motion).
 	PassEM Pass = "em"
 	// PassMR is the original Morel/Renvoise 1979 partial redundancy
@@ -178,61 +195,87 @@ const (
 	PassTidy Pass = "tidy"
 )
 
-// Passes lists all pass names accepted by Apply, in a stable order.
+// Passes lists all pass names accepted by Apply, in a stable order. The
+// registry (PassInfos) and this list agree; a test enforces it.
 func Passes() []Pass {
-	return []Pass{PassGlobAlg, PassInit, PassAM, PassAMRestricted, PassEM,
-		PassMR, PassEMCP, PassFlush, PassCopyProp, PassDCE, PassPDE, PassSplit, PassTidy}
+	return []Pass{PassGlobAlg, PassInit, PassAM, PassAMRestricted, PassAHT,
+		PassRAE, PassEM, PassMR, PassEMCP, PassFlush, PassCopyProp, PassDCE,
+		PassPDE, PassSplit, PassTidy}
 }
 
-// Apply runs the named passes on g, in order.
-func Apply(g *Graph, passes ...Pass) error {
-	for _, p := range passes {
-		switch p {
-		case PassGlobAlg:
-			core.Optimize(g)
-		case PassInit:
-			g.SplitCriticalEdges()
-			core.Initialize(g)
-		case PassAM:
-			am.Run(g)
-		case PassAMRestricted:
-			am.RunRestricted(g)
-		case PassEM:
-			lcm.Run(g)
-		case PassMR:
-			mr.Run(g)
-		case PassEMCP:
-			RunEMCP(g)
-		case PassFlush:
-			flush.Run(g)
-		case PassCopyProp:
-			copyprop.Run(g)
-		case PassDCE:
-			dce.Run(g)
-		case PassPDE:
-			pde.Run(g)
-		case PassSplit:
-			g.SplitCriticalEdges()
-		case PassTidy:
-			g.Tidy()
-		default:
-			return fmt.Errorf("assignmentmotion: unknown pass %q", p)
-		}
+// PassInfo describes one registered pass: its name, a one-line
+// description, and the paper reference it implements.
+type PassInfo = pass.Info
+
+// PassInfos lists every registered pass, sorted by name.
+func PassInfos() []PassInfo { return pass.Infos() }
+
+// PassStats is the uniform per-pass change report: a change count in the
+// pass's natural unit and the number of fixpoint iterations it ran.
+type PassStats = pass.Stats
+
+// PassEvent is the instrumentation record of one executed pass within a
+// pipeline run: wall time, instruction/block deltas, dataflow-solver work,
+// and arena high-water growth.
+type PassEvent = pass.Event
+
+// PipelineReport aggregates one pipeline run (per-pass events, total wall
+// time).
+type PipelineReport = pass.Report
+
+// Pipeline is an executable pass sequence with per-pass instrumentation,
+// optional event hooks, and optional inter-pass invariant checking (Debug).
+type Pipeline = pass.Pipeline
+
+// NewPipeline resolves pass names against the registry and returns the
+// pipeline. Unknown names fail with a did-you-mean suggestion.
+func NewPipeline(passes ...Pass) (*Pipeline, error) {
+	pl, err := pass.FromNames(passNames(passes)...)
+	if err != nil {
+		return nil, fmt.Errorf("assignmentmotion: %w", err)
 	}
-	return nil
+	return pl, nil
 }
+
+func passNames(passes []Pass) []string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = string(p)
+	}
+	return names
+}
+
+// Apply runs the named passes on g, in order. It is a thin wrapper over
+// the pass pipeline: one analysis session is threaded through the whole
+// sequence, so consecutive passes share the arena and universe caches.
+func Apply(g *Graph, passes ...Pass) error {
+	_, err := ApplyPipeline(g, passes...)
+	return err
+}
+
+// ApplyPipeline is Apply returning the per-pass instrumentation report.
+func ApplyPipeline(g *Graph, passes ...Pass) (PipelineReport, error) {
+	pl, err := NewPipeline(passes...)
+	if err != nil {
+		return PipelineReport{}, err
+	}
+	rep, err := pl.Run(g)
+	if err != nil {
+		return rep, fmt.Errorf("assignmentmotion: %w", err)
+	}
+	return rep, nil
+}
+
+// NewSession returns an analysis session for callers that drive several
+// pipelines over related graphs and want to share one arena and one set
+// of caches (Pipeline.RunWith). Close it when done.
+func NewSession() *analysis.Session { return analysis.NewSession() }
 
 // RunEMCP alternates lazy code motion and copy propagation until the
-// program stabilizes — the classical workaround of §6 (Figure 20(a)).
+// program stabilizes — the classical workaround of §6 (Figure 20(a)). The
+// rounds share one analysis session (see internal/emcp).
 func RunEMCP(g *Graph) {
-	for i := 0; i < 16; i++ {
-		before := g.Encode()
-		lcm.Run(g)
-		copyprop.Run(g)
-		if g.Encode() == before {
-			return
-		}
-	}
+	emcp.Run(g)
 }
 
 // ExecResult is the outcome of interpreting a program.

@@ -471,3 +471,32 @@ prog checksum {
 		core.Optimize(g)
 	}
 }
+
+// BenchmarkApplyPasses measures the facade pass-composition path (Apply
+// and the §6 EM/CP interleaving) on a batch of random structured graphs —
+// the session-sharing benchmark behind the Apply/RunEMCP rows of
+// BENCH_engine.json.
+func BenchmarkApplyPasses(b *testing.B) {
+	graphs := make([]*Graph, 40)
+	for i := range graphs {
+		graphs[i] = RandomStructured(int64(i), GenConfig{Size: 12})
+	}
+	b.Run("init,am,flush", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				if err := Apply(g.Clone(), PassInit, PassAM, PassFlush); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("emcp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				RunEMCP(g.Clone())
+			}
+		}
+	})
+}

@@ -2,8 +2,9 @@ package main
 
 // Batch mode: amopt pointed at several .fg files or at directories runs
 // the concurrent engine (assignmentmotion.OptimizeBatch) instead of the
-// single-file pipeline. Batch mode always runs the full global algorithm;
-// custom -pass pipelines remain a single-file feature.
+// single-file loop. Any registry pipeline works: the default is the full
+// global algorithm, and -pass/-passes swaps in an arbitrary sequence,
+// served by the same worker pool and result cache.
 
 import (
 	"context"
@@ -14,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"assignmentmotion"
@@ -81,6 +83,7 @@ type batchConfig struct {
 	json     bool
 	dot      bool
 	run      string
+	trace    bool
 }
 
 type batchGraphJSON struct {
@@ -95,6 +98,7 @@ type batchGraphJSON struct {
 }
 
 type batchJSON struct {
+	Passes []assignmentmotion.BatchPassAggregate `json:"passes,omitempty"`
 	Graphs       int              `json:"graphs"`
 	Succeeded    int              `json:"succeeded"`
 	Failed       int              `json:"failed"`
@@ -117,11 +121,19 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 	if cfg.run != "" {
 		return fmt.Errorf("-run is not supported in batch mode")
 	}
-	for _, name := range strings.Split(cfg.passSpec, ",") {
-		switch strings.TrimSpace(name) {
-		case "", "none", "globalg":
-		default:
-			return fmt.Errorf("batch mode always runs the global algorithm; -pass %q is a single-file feature", cfg.passSpec)
+	// The engine's default pipeline IS the global algorithm; anything else
+	// is resolved against the registry up front so an unknown name fails
+	// once with its did-you-mean message instead of once per graph.
+	var pipeline []string
+	for _, p := range parsePasses(cfg.passSpec) {
+		pipeline = append(pipeline, string(p))
+	}
+	if len(pipeline) == 1 && pipeline[0] == "globalg" {
+		pipeline = nil
+	}
+	if len(pipeline) > 0 {
+		if _, err := assignmentmotion.NewPipeline(parsePasses(cfg.passSpec)...); err != nil {
+			return err
 		}
 	}
 
@@ -146,10 +158,21 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 		graphs[i] = g
 	}
 
-	rep := assignmentmotion.OptimizeBatch(context.Background(), graphs, assignmentmotion.BatchOptions{
+	opts := assignmentmotion.BatchOptions{
 		Parallelism: cfg.parallel,
 		Timeout:     cfg.timeout,
-	})
+		Passes:      pipeline,
+	}
+	if cfg.trace && !cfg.json {
+		// Workers report concurrently; serialize the trace lines.
+		var mu sync.Mutex
+		opts.Hook = func(graph string, ev assignmentmotion.PassEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(out, "# %-24s %s\n", graph, formatPassEvent(ev))
+		}
+	}
+	rep := assignmentmotion.OptimizeBatch(context.Background(), graphs, opts)
 
 	// Optional per-graph differential verification against the originals
 	// (the engine never mutates its inputs, so graphs[i] is pristine).
@@ -186,6 +209,7 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 			PhaseFlush:   rep.Phase.Flush.String(),
 			AMIterations: rep.AMIterations,
 			MaxAMIters:   rep.MaxAMIterations,
+			Passes:       rep.Passes,
 		}
 		for i, r := range rep.Results {
 			gj := batchGraphJSON{
@@ -227,6 +251,12 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 			fmt.Fprintf(out, "# phase wall: init=%v am=%v flush=%v (sum %v across workers)\n",
 				rep.Phase.Init.Round(time.Microsecond), rep.Phase.AM.Round(time.Microsecond),
 				rep.Phase.Flush.Round(time.Microsecond), rep.Phase.Total.Round(time.Microsecond))
+			for _, a := range rep.Passes {
+				fmt.Fprintf(out, "# pass %-13s runs=%-4d changes=%-5d iters=%-4d wall=%-10v solves=%d visits=%d sweeps=%d arena+=(%dw,%di,%dv)\n",
+					a.Pass, a.Runs, a.Changes, a.Iterations, a.Wall.Round(time.Microsecond),
+					a.Dataflow.Solves, a.Dataflow.Visits, a.Dataflow.Sweeps,
+					a.Arena.Words, a.Arena.Ints, a.Arena.Vecs)
+			}
 			fmt.Fprintf(out, "# am iterations: total=%d max=%d\n", rep.AMIterations, rep.MaxAMIterations)
 			fmt.Fprintf(out, "# wall: %v\n", rep.Wall.Round(time.Microsecond))
 		}

@@ -105,8 +105,13 @@ func TestBatchJSON(t *testing.T) {
 
 func TestBatchRejectsUnsupportedFlags(t *testing.T) {
 	dir := writeBatchDir(t)
-	if _, err := runCLI(t, "-pass", "em", dir); err == nil || !strings.Contains(err.Error(), "global algorithm") {
-		t.Errorf("custom pass accepted in batch mode: %v", err)
+	// Custom pipelines are a batch feature now; only unknown names fail,
+	// with a did-you-mean suggestion.
+	if _, err := runCLI(t, "-pass", "em", dir); err != nil {
+		t.Errorf("custom pipeline rejected in batch mode: %v", err)
+	}
+	if _, err := runCLI(t, "-pass", "emc", dir); err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("unknown pass: want did-you-mean error, got %v", err)
 	}
 	if _, err := runCLI(t, "-dot", dir); err == nil {
 		t.Error("-dot accepted in batch mode")

@@ -8,6 +8,12 @@
 //	amopt [flags] a.fg b.fg dir/ # batch mode: many files / directories
 //
 //	-pass globalg                comma-separated pipeline; see -list
+//	-passes init,am,flush        synonym of -pass; "-passes list" prints
+//	                             the pass registry (description + paper
+//	                             reference per pass)
+//	-trace-passes                print one line per executed pass: wall
+//	                             time, instruction/block deltas, solver
+//	                             work, arena growth
 //	-dot                         emit Graphviz instead of .fg
 //	-metrics                     print static metrics before/after
 //	-run "a=1,b=2"               interpret with the given environment
@@ -54,6 +60,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"assignmentmotion"
 	"assignmentmotion/internal/figures"
@@ -69,6 +76,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("amopt", flag.ContinueOnError)
 	passFlag := fs.String("pass", "globalg", "comma-separated pass pipeline")
+	passesFlag := fs.String("passes", "", "synonym of -pass; \"-passes list\" prints the pass registry")
+	traceFlag := fs.Bool("trace-passes", false, "print one line per executed pass (timings, deltas, solver work)")
 	dotFlag := fs.Bool("dot", false, "emit Graphviz dot")
 	metricsFlag := fs.Bool("metrics", false, "print static metrics before and after")
 	runFlag := fs.String("run", "", "interpret with environment, e.g. \"a=1,b=2\"")
@@ -116,6 +125,15 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
+	passSpec := *passFlag
+	if *passesFlag != "" {
+		passSpec = *passesFlag
+	}
+	if passSpec == "list" {
+		printRegistry(out)
+		return nil
+	}
+
 	if *listFlag {
 		fmt.Fprintln(out, "passes:")
 		for _, p := range assignmentmotion.Passes() {
@@ -132,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	} else if batch {
 		return runBatch(files, batchConfig{
-			passSpec: *passFlag,
+			passSpec: passSpec,
 			nested:   *nestedFlag,
 			prog:     *progFlag,
 			parallel: *parallelFlag,
@@ -142,6 +160,7 @@ func run(args []string, out io.Writer) error {
 			json:     *jsonFlag,
 			dot:      *dotFlag,
 			run:      *runFlag,
+			trace:    *traceFlag,
 		}, out)
 	}
 
@@ -166,16 +185,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	var passes []assignmentmotion.Pass
-	for _, name := range strings.Split(*passFlag, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" || name == "none" {
-			continue
-		}
-		passes = append(passes, assignmentmotion.Pass(name))
-	}
-	if err := assignmentmotion.Apply(g, passes...); err != nil {
+	prep, err := assignmentmotion.ApplyPipeline(g, parsePasses(passSpec)...)
+	if err != nil {
 		return err
+	}
+	if *traceFlag {
+		for _, ev := range prep.Events {
+			fmt.Fprintf(out, "# %s\n", formatPassEvent(ev))
+		}
 	}
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("pipeline produced an invalid graph: %w", err)
@@ -228,6 +245,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *jsonFlag {
+		report.Passes = prep.Events
 		report.Program = assignmentmotion.Format(g)
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -236,9 +254,54 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// parsePasses splits a -pass / -passes spec into pass names, skipping
+// empty segments and the "none" placeholder.
+func parsePasses(spec string) []assignmentmotion.Pass {
+	var passes []assignmentmotion.Pass
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || name == "none" {
+			continue
+		}
+		passes = append(passes, assignmentmotion.Pass(name))
+	}
+	return passes
+}
+
+// printRegistry renders the pass registry ("-passes list"): one line per
+// registered pass with its description and paper reference.
+func printRegistry(out io.Writer) {
+	infos := assignmentmotion.PassInfos()
+	width := 0
+	for _, in := range infos {
+		if len(in.Name) > width {
+			width = len(in.Name)
+		}
+	}
+	for _, in := range infos {
+		fmt.Fprintf(out, "%-*s  %s\n", width, in.Name, in.Description)
+		if in.Ref != "" {
+			fmt.Fprintf(out, "%-*s  [%s]\n", width, "", in.Ref)
+		}
+	}
+}
+
+// formatPassEvent renders one pipeline event as a -trace-passes line.
+func formatPassEvent(ev assignmentmotion.PassEvent) string {
+	line := fmt.Sprintf("pass %-13s changes=%-5d iters=%-3d wall=%-10v instrs %d->%d blocks %d->%d solves=%d visits=%d sweeps=%d",
+		ev.Pass, ev.Stats.Changes, ev.Stats.Iterations, ev.Wall.Round(time.Microsecond),
+		ev.InstrsBefore, ev.InstrsAfter, ev.BlocksBefore, ev.BlocksAfter,
+		ev.Dataflow.Solves, ev.Dataflow.Visits, ev.Dataflow.Sweeps)
+	if ev.Arena.Words != 0 || ev.Arena.Ints != 0 || ev.Arena.Vecs != 0 {
+		line += fmt.Sprintf(" arena+=(%dw,%di,%dv)", ev.Arena.Words, ev.Arena.Ints, ev.Arena.Vecs)
+	}
+	return line
+}
+
 // jsonReport is the machine-readable output of -json.
 type jsonReport struct {
 	Graph             string                       `json:"graph"`
+	Passes            []assignmentmotion.PassEvent `json:"passes,omitempty"`
 	Before            *assignmentmotion.Static     `json:"before,omitempty"`
 	After             *assignmentmotion.Static     `json:"after,omitempty"`
 	Verified          int                          `json:"verifiedInputs,omitempty"`

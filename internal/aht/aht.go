@@ -26,7 +26,24 @@ import (
 	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "aht",
+		Description: "one assignment-hoisting step: insert at maximal-hoisting points, remove all candidates",
+		Ref:         "§4.3, Table 1, Figure 13",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			g.SplitCriticalEdges() // X-INSERT at branch nodes needs split edges
+			changes := 0
+			if ApplyWith(g, s, nil) {
+				changes = 1
+			}
+			return pass.Stats{Changes: changes, Iterations: 1}
+		},
+	})
+}
 
 // Info holds the analysis result, indexed by block ID. When it was
 // computed through a session (AnalyzeWith), the vectors live in the
@@ -103,6 +120,7 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 		Succs: bv.Succs,
 		Order: bv.BwdOrder,
 		Arena: ar,
+		Stats: s.DataflowStats(),
 		// For a Backward problem the solver's "in" is the fact at the
 		// block's exit (X-HOISTABLE) and "out" the fact at its entry
 		// (N-HOISTABLE).

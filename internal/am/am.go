@@ -26,8 +26,30 @@ import (
 	"assignmentmotion/internal/aht"
 	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 	"assignmentmotion/internal/rae" // block-level elimination: identical results (see rae.EliminateBlocks), smaller solver
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "am",
+		Description: "exhaustive assignment motion: the aht/rae fixpoint capturing all second-order effects",
+		Ref:         "§4.3, Tables 1–2, Lemma 4.2",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			st := RunWith(g, s)
+			return pass.Stats{Changes: st.Eliminated, Iterations: st.Iterations}
+		},
+	})
+	pass.Register(pass.Pass{
+		Name:        "am-restricted",
+		Description: "Dhamdhere-style restricted AM: only immediately profitable hoistings (misses second-order effects)",
+		Ref:         "§1.4, Figure 8; Dhamdhere [6]",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			st := RunRestrictedWith(g, s)
+			return pass.Stats{Changes: st.Eliminated, Iterations: st.Iterations}
+		},
+	})
+}
 
 // Stats reports what one AM-phase run did.
 type Stats struct {
@@ -135,6 +157,11 @@ func RunEliminateFirst(g *ir.Graph) Stats {
 func RunRestricted(g *ir.Graph) Stats {
 	s := analysis.NewSession()
 	defer s.Close()
+	return RunRestrictedWith(g, s)
+}
+
+// RunRestrictedWith is RunRestricted against an existing session.
+func RunRestrictedWith(g *ir.Graph, s *analysis.Session) Stats {
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
 	limit := iterationLimit(g)

@@ -25,6 +25,7 @@ import (
 // Session must not be shared between goroutines.
 type Session struct {
 	ar *arena.Arena
+	df dataflow.SolveStats
 
 	g        *ir.Graph
 	u        *ir.PatternSet
@@ -64,6 +65,27 @@ func (s *Session) Arena() *arena.Arena {
 		return nil
 	}
 	return s.ar
+}
+
+// DataflowStats returns the session's solver-work tally, which every
+// analysis run under this session points its dataflow.Problem.Stats at.
+// The pass pipeline snapshots it around each pass to report per-pass
+// Visits/Sweeps. Nil for a nil session (and dataflow treats a nil tally as
+// "don't count").
+func (s *Session) DataflowStats() *dataflow.SolveStats {
+	if s == nil {
+		return nil
+	}
+	return &s.df
+}
+
+// DataflowSnapshot returns a copy of the current solver-work tally (zero
+// for a nil session), for delta computations with SolveStats.Delta.
+func (s *Session) DataflowSnapshot() dataflow.SolveStats {
+	if s == nil {
+		return dataflow.SolveStats{}
+	}
+	return s.df
 }
 
 // Universe returns the assignment-pattern universe of g and its

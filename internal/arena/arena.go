@@ -33,6 +33,12 @@ type Arena struct {
 	wOff  int
 	iOff  int
 	vOff  int
+	// High-water marks since the last Reset. Release rewinds the offsets
+	// but not these, so they report the peak footprint of a whole run even
+	// when every round is bracketed by Mark/Release.
+	wHi int
+	iHi int
+	vHi int
 }
 
 // Mark is a rewind point returned by (*Arena).Mark.
@@ -62,6 +68,19 @@ func (a *Arena) Reset() {
 		return
 	}
 	a.wOff, a.iOff, a.vOff = 0, 0, 0
+	a.wHi, a.iHi, a.vHi = 0, 0, 0
+}
+
+// HighWater reports the peak allocation offsets — vector words, ints, and
+// vector headers — reached since the last Reset. Because Release does not
+// rewind the peaks, instrumentation (internal/pass) can diff HighWater
+// around a pass to see how much arena storage the pass actually touched,
+// Mark/Release brackets and all. Zero for a nil arena.
+func (a *Arena) HighWater() (words, ints, vecs int) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	return a.wHi, a.iHi, a.vHi
 }
 
 // Words carves a zeroed []uint64 of length n.
@@ -74,6 +93,9 @@ func (a *Arena) Words(n int) []uint64 {
 	}
 	s := a.words[a.wOff : a.wOff+n : a.wOff+n]
 	a.wOff += n
+	if a.wOff > a.wHi {
+		a.wHi = a.wOff
+	}
 	clear(s)
 	return s
 }
@@ -88,6 +110,9 @@ func (a *Arena) Ints(n int) []int {
 	}
 	s := a.ints[a.iOff : a.iOff+n : a.iOff+n]
 	a.iOff += n
+	if a.iOff > a.iHi {
+		a.iHi = a.iOff
+	}
 	clear(s)
 	return s
 }
@@ -103,6 +128,9 @@ func (a *Arena) Vecs(n int) []bitvec.Vec {
 	}
 	s := a.vecs[a.vOff : a.vOff+n : a.vOff+n]
 	a.vOff += n
+	if a.vOff > a.vHi {
+		a.vHi = a.vOff
+	}
 	clear(s)
 	return s
 }

@@ -11,7 +11,20 @@ import (
 	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "copyprop",
+		Description: "global copy propagation: replace uses through available copies, iterated to a fixpoint",
+		Ref:         "§6, Figure 20(a); cf. [8]",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			replaced, rounds := RunWith(g, s)
+			return pass.Stats{Changes: replaced, Iterations: rounds}
+		},
+	})
+}
 
 // copyPat is a copy pattern v := w.
 type copyPat struct {
@@ -22,18 +35,27 @@ type copyPat struct {
 // returns the number of replaced operand occurrences. Chains (t := s;
 // u := t; use of u) are resolved by iterating to a fixpoint.
 func Run(g *ir.Graph) int {
-	total := 0
+	replaced, _ := RunWith(g, nil)
+	return replaced
+}
+
+// RunWith is Run against session s (nil for the uncached path): the
+// availability vectors come from the session's arena and solver work is
+// tallied into the session for per-pass reporting. It additionally returns
+// the number of analysis+replacement rounds until the fixpoint.
+func RunWith(g *ir.Graph, s *analysis.Session) (replaced, rounds int) {
 	for {
-		n := runOnce(g)
-		total += n
+		rounds++
+		n := runOnce(g, s)
+		replaced += n
 		if n == 0 {
-			return total
+			return replaced, rounds
 		}
 	}
 }
 
 // runOnce performs one availability analysis + replacement sweep.
-func runOnce(g *ir.Graph) int {
+func runOnce(g *ir.Graph, s *analysis.Session) int {
 	prog := analysis.NewProg(g)
 
 	// Collect copy patterns v := w (trivial variable RHS, v ≠ w).
@@ -53,11 +75,15 @@ func runOnce(g *ir.Graph) int {
 	bits := len(pats)
 	n := prog.Len()
 
-	gen := make([]bitvec.Vec, n)
-	kill := make([]bitvec.Vec, n)
+	ar := s.Arena()
+	mark := ar.Mark()
+	defer ar.Release(mark)
+
+	gen := ar.Vecs(n)
+	kill := ar.Vecs(n)
 	for i := 0; i < n; i++ {
-		gen[i] = bitvec.New(bits)
-		kill[i] = bitvec.New(bits)
+		gen[i] = ar.Vec(bits)
+		kill[i] = ar.Vec(bits)
 		in := prog.Ins[i]
 		if v, ok := in.Defs(); ok {
 			for id, p := range pats {
@@ -77,6 +103,8 @@ func runOnce(g *ir.Graph) int {
 	res := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
 		Preds: prog.Preds, Succs: prog.Succs,
+		Arena: ar,
+		Stats: s.DataflowStats(),
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			out.AndNot(kill[i])

@@ -26,6 +26,7 @@ import (
 	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
 
 // Result reports what one Optimize run did, per phase.
@@ -43,17 +44,94 @@ type Result struct {
 // per-phase statistics. The graph is edge-split, normalized, and valid on
 // return.
 func Optimize(g *ir.Graph) Result {
-	var res Result
-	g.SplitCriticalEdges()
-	res.Decomposed = Initialize(g)
 	// One session carries the arena, pattern universe, and iteration orders
 	// across the whole run: every aht/rae round of the motion fixpoint and
 	// the final flush draw from the same pooled storage.
 	s := analysis.NewSession()
 	defer s.Close()
-	res.AM = am.RunWith(g, s)
-	res.Flush = flush.RunWith(g, s)
+	return OptimizeWith(g, s, nil)
+}
+
+// OptimizeWith is Optimize as a three-pass pipeline (init, am, flush) over
+// an existing session. The optional hook receives one instrumented event
+// per phase — wall time, instruction deltas, solver work — which is how
+// internal/engine and amopt observe the global algorithm per phase.
+func OptimizeWith(g *ir.Graph, s *analysis.Session, hook func(pass.Event)) Result {
+	var res Result
+	pl := pass.New(Phases(&res)...)
+	pl.Hook = hook
+	// The pipeline only errors in Debug mode, which Phases does not enable.
+	if _, err := pl.RunWith(g, s); err != nil {
+		panic("core: global pipeline failed: " + err.Error())
+	}
 	return res
+}
+
+// Phases returns the three phases of the global algorithm as pipeline
+// passes. The detailed per-phase statistics are accumulated into res when
+// it is non-nil (the uniform pass.Stats shape is reported either way).
+// These are the same transformations the registry serves under "init",
+// "am", and "flush"; this constructor exists so composite drivers
+// (Optimize, the batch engine) can keep the typed Result while running on
+// the instrumented pipeline path.
+func Phases(res *Result) []pass.Pass {
+	if res == nil {
+		res = &Result{}
+	}
+	return []pass.Pass{
+		phase("init", func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			g.SplitCriticalEdges()
+			res.Decomposed = Initialize(g)
+			return pass.Stats{Changes: res.Decomposed, Iterations: 1}
+		}),
+		phase("am", func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			res.AM = am.RunWith(g, s)
+			return pass.Stats{Changes: res.AM.Eliminated, Iterations: res.AM.Iterations}
+		}),
+		phase("flush", func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			res.Flush = flush.RunWith(g, s)
+			changes := res.Flush.DroppedInits + res.Flush.InsertedInits + res.Flush.Reconstructed
+			return pass.Stats{Changes: changes, Iterations: 1}
+		}),
+	}
+}
+
+// phase copies the registered pass's metadata (the registrations of the
+// imported am and flush packages, and core's own "init", are guaranteed to
+// have run) and overrides the body with a closure that additionally
+// captures the typed phase statistics.
+func phase(name string, run func(*ir.Graph, *analysis.Session) pass.Stats) pass.Pass {
+	p, ok := pass.Lookup(name)
+	if !ok {
+		panic("core: phase " + name + " not registered")
+	}
+	p.RunWith = run
+	return p
+}
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "init",
+		Description: "initialization: decompose every assignment and condition side through a temporary (EM becomes AM)",
+		Ref:         "§4.2, Figure 12, Lemma 4.1",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			g.SplitCriticalEdges()
+			return pass.Stats{Changes: Initialize(g), Iterations: 1}
+		},
+	})
+	pass.Register(pass.Pass{
+		Name:        "globalg",
+		Description: "the full global algorithm: init, exhaustive assignment motion, final flush",
+		Ref:         "§4, Theorems 5.2–5.4",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			res := OptimizeWith(g, s, nil)
+			return pass.Stats{
+				Changes: res.Decomposed + res.AM.Eliminated +
+					res.Flush.DroppedInits + res.Flush.InsertedInits + res.Flush.Reconstructed,
+				Iterations: res.AM.Iterations,
+			}
+		},
+	})
 }
 
 // Initialize applies the initialization phase to g in place and returns

@@ -80,6 +80,40 @@ type Problem struct {
 	// priority order. It exists for the order-equivalence property tests
 	// and the sweep-count benchmarks; production analyses leave it false.
 	FIFO bool
+	// Stats, if non-nil, accumulates this solve's work counters into the
+	// given tally. Analyses running under an analysis.Session point this at
+	// the session's tally so the pass pipeline can report per-pass solver
+	// work (see Session.DataflowStats).
+	Stats *SolveStats
+}
+
+// SolveStats tallies solver work across many Solve calls: the number of
+// solves, node transfer evaluations, and order sweeps. It is the unit the
+// pass pipeline's per-pass instrumentation is reported in. A SolveStats
+// must not be shared between goroutines.
+type SolveStats struct {
+	Solves int
+	Visits int
+	Sweeps int
+}
+
+// Delta returns s - prev, the work done since the prev snapshot.
+func (s SolveStats) Delta(prev SolveStats) SolveStats {
+	return SolveStats{
+		Solves: s.Solves - prev.Solves,
+		Visits: s.Visits - prev.Visits,
+		Sweeps: s.Sweeps - prev.Sweeps,
+	}
+}
+
+// record adds one finished solve to the tally (nil-safe).
+func (s *SolveStats) record(visits, sweeps int) {
+	if s == nil {
+		return
+	}
+	s.Solves++
+	s.Visits += visits
+	s.Sweeps += sweeps
 }
 
 // Result carries the fixpoint solution. For a Forward problem In[i] is the
@@ -250,6 +284,7 @@ func Solve(p Problem) Result {
 				}
 			}
 		}
+		p.Stats.record(visits, 0)
 		return Result{In: in, Out: out, Visits: visits, Sweeps: 0}
 	}
 
@@ -282,5 +317,6 @@ func Solve(p Problem) Result {
 			}
 		}
 	}
+	p.Stats.record(visits, sweeps)
 	return Result{In: in, Out: out, Visits: visits, Sweeps: sweeps}
 }

@@ -19,24 +19,46 @@ import (
 	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "dce",
+		Description: "dead assignment elimination by strong liveness (faint code), iterated to a fixpoint",
+		Ref:         "§3 footnote 3; cf. [11, 17]",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			removed, rounds := RunWith(g, s)
+			return pass.Stats{Changes: removed, Iterations: rounds}
+		},
+	})
+}
 
 // Run removes assignments whose targets are not strongly live at the
 // assignment's exit and returns the number of removed instructions. It
 // iterates to a fixpoint (removal can expose further dead code, although
 // strong liveness already handles most cascades in one pass).
 func Run(g *ir.Graph) int {
-	total := 0
+	removed, _ := RunWith(g, nil)
+	return removed
+}
+
+// RunWith is Run against session s (nil for the uncached path): the
+// liveness vectors come from the session's arena and solver work is
+// tallied into the session for per-pass reporting. It additionally returns
+// the number of analysis+removal rounds until the fixpoint.
+func RunWith(g *ir.Graph, s *analysis.Session) (removed, rounds int) {
 	for {
-		n := runOnce(g)
-		total += n
+		rounds++
+		n := runOnce(g, s)
+		removed += n
 		if n == 0 {
-			return total
+			return removed, rounds
 		}
 	}
 }
 
-func runOnce(g *ir.Graph) int {
+func runOnce(g *ir.Graph, s *analysis.Session) int {
 	prog := analysis.NewProg(g)
 	vars := g.Vars()
 	index := make(map[ir.Var]int, len(vars))
@@ -49,12 +71,16 @@ func runOnce(g *ir.Graph) int {
 	}
 	n := prog.Len()
 
+	ar := s.Arena()
+	mark := ar.Mark()
+	defer ar.Release(mark)
+
 	// Observable uses (out, cond) unconditionally generate liveness;
 	// an assignment w := t generates liveness of t's variables only when
 	// w itself is strongly live after it.
-	obsUse := make([]bitvec.Vec, n)
+	obsUse := ar.Vecs(n)
 	for i := 0; i < n; i++ {
-		obsUse[i] = bitvec.New(bits)
+		obsUse[i] = ar.Vec(bits)
 		in := prog.Ins[i]
 		if in.Kind == ir.KindOut || in.Kind == ir.KindCond {
 			for _, v := range in.Uses(nil) {
@@ -66,6 +92,8 @@ func runOnce(g *ir.Graph) int {
 	res := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
 		Preds: prog.Preds, Succs: prog.Succs,
+		Arena: ar,
+		Stats: s.DataflowStats(),
 		// Backward: solver "in" is strong liveness at the instruction
 		// exit, "out" at its entry.
 		Transfer: func(i int, in, out bitvec.Vec) {

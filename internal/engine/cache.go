@@ -7,6 +7,7 @@ import (
 
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
 
 // CacheStats reports the cumulative behaviour of one engine's cache.
@@ -16,24 +17,43 @@ type CacheStats struct {
 	Entries int   // results currently stored
 }
 
+// cacheKey addresses one cached outcome: the graph's content fingerprint
+// plus the pipeline spec that produced it. Mixing the spec in keeps one
+// engine (or a future shared cache) from serving an "init,am,flush"
+// result to an "em,copyprop" request for the same graph.
+type cacheKey struct {
+	fp       ir.Fingerprint
+	pipeline string
+}
+
 // entry is one cached optimization outcome. The stored graph is private to
 // the cache; readers receive clones.
 type entry struct {
-	fp     ir.Fingerprint
+	key    cacheKey
 	graph  *ir.Graph
 	result core.Result
+	events []pass.Event
 }
 
-// flight coordinates duplicate in-flight work on one fingerprint: the
-// first worker to claim a fingerprint becomes the leader and computes;
-// followers block on done and read the outcome. A failed leader (panic,
-// timeout, cancellation) publishes ok=false and followers compute for
-// themselves — errors are never cached, so a transient timeout cannot
-// poison a fingerprint forever.
+// cached is what a lookup hands out: a private clone of the stored graph
+// plus the stored statistics (the events slice is shared read-only).
+type cached struct {
+	graph  *ir.Graph
+	result core.Result
+	events []pass.Event
+}
+
+// flight coordinates duplicate in-flight work on one key: the first
+// worker to claim a key becomes the leader and computes; followers block
+// on done and read the outcome. A failed leader (panic, timeout,
+// cancellation) publishes ok=false and followers compute for themselves —
+// errors are never cached, so a transient timeout cannot poison a key
+// forever.
 type flight struct {
 	done   chan struct{}
 	graph  *ir.Graph
 	result core.Result
+	events []pass.Event
 	ok     bool
 }
 
@@ -41,9 +61,9 @@ type flight struct {
 // single-flight deduplication. maxEntries <= 0 disables the bound.
 type cache struct {
 	mu         sync.Mutex
-	entries    map[ir.Fingerprint]*list.Element
+	entries    map[cacheKey]*list.Element
 	ll         list.List // front = most recently used
-	inflight   map[ir.Fingerprint]*flight
+	inflight   map[cacheKey]*flight
 	maxEntries int
 
 	hits   atomic.Int64
@@ -52,58 +72,60 @@ type cache struct {
 
 func newCache(maxEntries int) *cache {
 	return &cache{
-		entries:    map[ir.Fingerprint]*list.Element{},
-		inflight:   map[ir.Fingerprint]*flight{},
+		entries:    map[cacheKey]*list.Element{},
+		inflight:   map[cacheKey]*flight{},
 		maxEntries: maxEntries,
 	}
 }
 
-// lookup returns the cached outcome for fp, cloning the stored graph.
-func (c *cache) lookup(fp ir.Fingerprint) (*ir.Graph, core.Result, bool) {
+// lookup returns the cached outcome for key, cloning the stored graph.
+func (c *cache) lookup(key cacheKey) (cached, bool) {
 	c.mu.Lock()
-	el, ok := c.entries[fp]
+	el, ok := c.entries[key]
 	if !ok {
 		c.mu.Unlock()
-		return nil, core.Result{}, false
+		return cached{}, false
 	}
 	c.ll.MoveToFront(el)
 	e := el.Value.(*entry)
-	g, res := e.graph, e.result
+	out := cached{graph: e.graph, result: e.result, events: e.events}
 	c.mu.Unlock()
 	c.hits.Add(1)
-	return g.Clone(), res, true
+	out.graph = out.graph.Clone()
+	return out, true
 }
 
-// claim registers the caller as leader for fp, or returns the existing
+// claim registers the caller as leader for key, or returns the existing
 // in-flight computation to wait on.
-func (c *cache) claim(fp ir.Fingerprint) (leader bool, fl *flight) {
+func (c *cache) claim(key cacheKey) (leader bool, fl *flight) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if fl, ok := c.inflight[fp]; ok {
+	if fl, ok := c.inflight[key]; ok {
 		return false, fl
 	}
 	fl = &flight{done: make(chan struct{})}
-	c.inflight[fp] = fl
+	c.inflight[key] = fl
 	return true, fl
 }
 
 // complete publishes a leader's successful outcome: the result is stored
 // (the cache takes ownership of g, so the caller must pass a private
 // clone), followers are released, and the LRU is trimmed.
-func (c *cache) complete(fp ir.Fingerprint, fl *flight, g *ir.Graph, res core.Result) {
+func (c *cache) complete(key cacheKey, fl *flight, g *ir.Graph, res core.Result, events []pass.Event) {
 	c.mu.Lock()
-	fl.graph, fl.result, fl.ok = g, res, true
-	delete(c.inflight, fp)
-	if el, ok := c.entries[fp]; ok {
+	fl.graph, fl.result, fl.events, fl.ok = g, res, events, true
+	delete(c.inflight, key)
+	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*entry).graph, el.Value.(*entry).result = g, res
+		e := el.Value.(*entry)
+		e.graph, e.result, e.events = g, res, events
 	} else {
-		c.entries[fp] = c.ll.PushFront(&entry{fp: fp, graph: g, result: res})
+		c.entries[key] = c.ll.PushFront(&entry{key: key, graph: g, result: res, events: events})
 		if c.maxEntries > 0 {
 			for len(c.entries) > c.maxEntries {
 				oldest := c.ll.Back()
 				c.ll.Remove(oldest)
-				delete(c.entries, oldest.Value.(*entry).fp)
+				delete(c.entries, oldest.Value.(*entry).key)
 			}
 		}
 	}
@@ -112,9 +134,9 @@ func (c *cache) complete(fp ir.Fingerprint, fl *flight, g *ir.Graph, res core.Re
 }
 
 // abandon releases followers after a failed leader without caching.
-func (c *cache) abandon(fp ir.Fingerprint, fl *flight) {
+func (c *cache) abandon(key cacheKey, fl *flight) {
 	c.mu.Lock()
-	delete(c.inflight, fp)
+	delete(c.inflight, key)
 	c.mu.Unlock()
 	close(fl.done)
 }

@@ -1,7 +1,9 @@
-// Package engine is the concurrent batch front end to the paper's global
-// algorithm: it runs the three-phase pipeline (initialization → exhaustive
-// aht/rae assignment-motion fixpoint → final flush, exactly core.Optimize)
-// over many flow graphs at once on a bounded worker pool.
+// Package engine is the concurrent batch front end to the pass pipeline:
+// by default it runs the paper's global algorithm (initialization →
+// exhaustive aht/rae assignment-motion fixpoint → final flush, exactly
+// core.Optimize) over many flow graphs at once on a bounded worker pool,
+// and Options.Passes swaps in any pipeline composed from the pass
+// registry.
 //
 // The engine is built for heavy, untrusted traffic:
 //
@@ -9,11 +11,15 @@
 //   - per-graph panic recovery and deadline/cancellation via
 //     context.Context, so one pathological graph fails alone instead of
 //     taking the batch down;
-//   - a content-addressed result cache keyed by ir.Graph.Fingerprint with
-//     single-flight deduplication, so duplicate graphs are optimized once
-//     per engine lifetime;
-//   - per-phase observability: timings, AM iteration counts, and cache
-//     hit/miss counters aggregated into a batch Report.
+//   - a content-addressed result cache keyed by ir.Graph.Fingerprint plus
+//     the pipeline spec, with single-flight deduplication, so duplicate
+//     graphs are optimized once per engine lifetime — and a cached
+//     "init,am,flush" result is never served to an "em,copyprop" batch;
+//   - per-pass observability: every job runs through an instrumented
+//     pipeline threading ONE analysis session end to end, and its
+//     pass.Events (wall time, instruction deltas, solver visits/sweeps,
+//     arena growth) are aggregated into the batch Report and streamed to
+//     Options.Hook.
 //
 // Inputs are never mutated: each job optimizes a private clone and the
 // optimized clone is returned in its GraphResult. That makes the engine
@@ -27,14 +33,15 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
-	"assignmentmotion/internal/am"
 	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/core"
-	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
 
 // DefaultCacheSize bounds the result cache when Options.CacheSize is 0.
@@ -54,6 +61,16 @@ type Options struct {
 	// CacheSize is the maximum number of cached results. 0 selects
 	// DefaultCacheSize; negative disables caching entirely.
 	CacheSize int
+	// Passes names the pipeline every job runs, resolved against the pass
+	// registry. Empty selects the global algorithm (init, am, flush —
+	// core.Optimize). Unknown names fail each job with a did-you-mean
+	// error.
+	Passes []string
+	// Hook, when non-nil, receives one pass.Event per executed pass of
+	// every computed (non-cached) job, tagged with the graph's name. It is
+	// called from worker goroutines, possibly concurrently; the callee
+	// must synchronize.
+	Hook func(graph string, ev pass.Event)
 }
 
 func (o Options) parallelism() int {
@@ -62,6 +79,11 @@ func (o Options) parallelism() int {
 	}
 	return o.Parallelism
 }
+
+// pipelineSpec is the cache-key component identifying the pipeline: the
+// default global algorithm is the empty string, everything else the
+// comma-joined pass list.
+func (o Options) pipelineSpec() string { return strings.Join(o.Passes, ",") }
 
 // PanicError is the recovered panic of one optimization job.
 type PanicError struct {
@@ -72,6 +94,9 @@ type PanicError struct {
 func (e *PanicError) Error() string { return fmt.Sprintf("optimization panicked: %v", e.Value) }
 
 // PhaseTimings records wall time spent per phase of the global algorithm.
+// The Init/AM/Flush split is populated from the pipeline events of the
+// passes with those names; a custom pipeline without them only fills
+// Total.
 type PhaseTimings struct {
 	Init  time.Duration `json:"init"`
 	AM    time.Duration `json:"am"`
@@ -86,6 +111,18 @@ func (t *PhaseTimings) add(u PhaseTimings) {
 	t.Total += u.Total
 }
 
+// record folds one pipeline event into the phase split.
+func (t *PhaseTimings) record(ev pass.Event) {
+	switch ev.Pass {
+	case "init":
+		t.Init += ev.Wall
+	case "am":
+		t.AM += ev.Wall
+	case "flush":
+		t.Flush += ev.Wall
+	}
+}
+
 // GraphResult is the outcome of one graph in a batch.
 type GraphResult struct {
 	// Index is the graph's position in the input slice.
@@ -95,11 +132,18 @@ type GraphResult struct {
 	// Graph is the optimized clone of the input; nil when Err is set.
 	Graph *ir.Graph
 	// Result carries the per-phase statistics of the optimization (or of
-	// the cached optimization on a cache hit).
+	// the cached optimization on a cache hit). It is populated by the
+	// default global pipeline; custom Options.Passes report through
+	// Passes instead.
 	Result core.Result
+	// Passes holds one instrumented event per executed pass, in pipeline
+	// order. On a cache hit they are the events of the computation that
+	// populated the cache.
+	Passes []pass.Event
 	// Err is non-nil when the job failed: a *PanicError for recovered
 	// panics, context.DeadlineExceeded / context.Canceled for deadline
-	// and cancellation, or a validation error for nil inputs.
+	// and cancellation, or a validation error for nil inputs and unknown
+	// pass names.
 	Err error
 	// CacheHit reports that the result was served from the cache.
 	CacheHit bool
@@ -108,6 +152,27 @@ type GraphResult struct {
 	Fingerprint string
 	// Timings is the wall time of this job's phases (≈ 0 on cache hits).
 	Timings PhaseTimings
+}
+
+// PassAggregate sums one pass's work across every computed job of a
+// batch — the per-pass batch statistics behind amopt -trace-passes.
+type PassAggregate struct {
+	// Pass is the registry name; Ref its paper anchor.
+	Pass string `json:"pass"`
+	Ref  string `json:"ref,omitempty"`
+	// Runs is the number of jobs that executed the pass.
+	Runs int `json:"runs"`
+	// Changes and Iterations sum the uniform pass stats.
+	Changes    int `json:"changes"`
+	Iterations int `json:"iterations"`
+	// Wall sums the pass's wall time (CPU-parallel across workers, so the
+	// sum may exceed the batch wall time).
+	Wall time.Duration `json:"wall"`
+	// Dataflow sums the solver work attributed to the pass.
+	Dataflow dataflow.SolveStats `json:"dataflow"`
+	// Arena sums the growth of the session arenas' peak footprint during
+	// the pass — 0 for passes that run entirely inside warmed storage.
+	Arena pass.ArenaMarks `json:"arena"`
 }
 
 // Report aggregates one batch.
@@ -122,6 +187,10 @@ type Report struct {
 	// Phase sums per-phase wall time across all jobs (CPU-parallel, so
 	// the sum may exceed Wall).
 	Phase PhaseTimings `json:"phase"`
+	// Passes aggregates the pipeline events of every computed job, in
+	// pipeline order (cache hits are excluded — their work happened in the
+	// job that populated the cache).
+	Passes []PassAggregate `json:"passes"`
 	// AMIterations sums assignment-motion rounds across all jobs;
 	// MaxAMIterations is the worst single graph.
 	AMIterations    int `json:"amIterations"`
@@ -159,7 +228,7 @@ func (e *Engine) CacheStats() CacheStats {
 	return e.cache.stats()
 }
 
-// OptimizeBatch runs the global algorithm over every graph, at most
+// OptimizeBatch runs the engine's pipeline over every graph, at most
 // opts.Parallelism at a time, and returns the aggregated report. Inputs
 // are not mutated. The call honours ctx: once ctx is done, unstarted jobs
 // are skipped and running jobs are abandoned, all reporting ctx's error.
@@ -200,6 +269,7 @@ feed:
 	wg.Wait()
 
 	rep := Report{Graphs: len(graphs), Parallelism: workers, Results: results}
+	agg := map[string]int{} // pass name -> index in rep.Passes
 	for i := range results {
 		r := &results[i]
 		if r.Err != nil {
@@ -211,15 +281,50 @@ feed:
 			rep.CacheHits++
 		} else {
 			rep.CacheMisses++
+			for _, ev := range r.Passes {
+				k, ok := agg[ev.Pass]
+				if !ok {
+					k = len(rep.Passes)
+					agg[ev.Pass] = k
+					rep.Passes = append(rep.Passes, PassAggregate{Pass: ev.Pass, Ref: ev.Ref})
+				}
+				a := &rep.Passes[k]
+				a.Runs++
+				a.Changes += ev.Stats.Changes
+				a.Iterations += ev.Stats.Iterations
+				a.Wall += ev.Wall
+				a.Dataflow.Solves += ev.Dataflow.Solves
+				a.Dataflow.Visits += ev.Dataflow.Visits
+				a.Dataflow.Sweeps += ev.Dataflow.Sweeps
+				a.Arena.Words += ev.Arena.Words
+				a.Arena.Ints += ev.Arena.Ints
+				a.Arena.Vecs += ev.Arena.Vecs
+			}
 		}
 		rep.Phase.add(r.Timings)
-		rep.AMIterations += r.Result.AM.Iterations
-		if r.Result.AM.Iterations > rep.MaxAMIterations {
-			rep.MaxAMIterations = r.Result.AM.Iterations
+		it := amIterations(r)
+		rep.AMIterations += it
+		if it > rep.MaxAMIterations {
+			rep.MaxAMIterations = it
 		}
 	}
 	rep.Wall = time.Since(start)
 	return rep
+}
+
+// amIterations extracts the assignment-motion round count of one job:
+// from the typed Result on the default pipeline, from the "am" event of a
+// custom one.
+func amIterations(r *GraphResult) int {
+	if r.Result.AM.Iterations > 0 {
+		return r.Result.AM.Iterations
+	}
+	for _, ev := range r.Passes {
+		if ev.Pass == "am" {
+			return ev.Stats.Iterations
+		}
+	}
+	return 0
 }
 
 // Optimize runs a single graph through the engine (pool of one). It is a
@@ -259,19 +364,20 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 	defer func() { r.Timings.Total = time.Since(start) }()
 
 	if e.cache == nil {
-		out, res, tm, err := e.compute(ctx, g)
-		r.Graph, r.Result, r.Timings, r.Err = out, res, tm, err
+		c := e.compute(ctx, g)
+		r.Graph, r.Result, r.Passes, r.Timings, r.Err = c.g, c.res, c.events, c.tm, c.err
 		return r
 	}
 
-	fp := g.Fingerprint()
-	r.Fingerprint = fp.String()
-	if out, res, ok := e.cache.lookup(fp); ok {
+	key := cacheKey{fp: g.Fingerprint(), pipeline: e.opts.pipelineSpec()}
+	r.Fingerprint = key.fp.String()
+	if hit, ok := e.cache.lookup(key); ok {
+		out := hit.graph
 		out.Name = g.Name // fingerprints ignore names; keep the caller's
-		r.Graph, r.Result, r.CacheHit = out, res, true
+		r.Graph, r.Result, r.Passes, r.CacheHit = out, hit.result, hit.events, true
 		return r
 	}
-	leader, fl := e.cache.claim(fp)
+	leader, fl := e.cache.claim(key)
 	if !leader {
 		select {
 		case <-fl.done:
@@ -279,7 +385,7 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 				e.cache.hits.Add(1)
 				out := fl.graph.Clone()
 				out.Name = g.Name
-				r.Graph, r.Result, r.CacheHit = out, fl.result, true
+				r.Graph, r.Result, r.Passes, r.CacheHit = out, fl.result, fl.events, true
 				return r
 			}
 			// The leader failed; fall through and compute for ourselves
@@ -291,35 +397,35 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 		}
 	}
 	e.cache.misses.Add(1)
-	out, res, tm, err := e.compute(ctx, g)
-	r.Result, r.Timings = res, tm
+	c := e.compute(ctx, g)
+	r.Result, r.Passes, r.Timings = c.res, c.events, c.tm
 	if leader {
-		if err != nil {
-			e.cache.abandon(fp, fl)
+		if c.err != nil {
+			e.cache.abandon(key, fl)
 		} else {
-			e.cache.complete(fp, fl, out.Clone(), res)
+			e.cache.complete(key, fl, c.g.Clone(), c.res, c.events)
 		}
 	}
-	r.Graph, r.Err = out, err
+	r.Graph, r.Err = c.g, c.err
 	return r
 }
 
 // computation is what the worker goroutine sends back.
 type computation struct {
-	g   *ir.Graph
-	res core.Result
-	tm  PhaseTimings
-	err error
+	g      *ir.Graph
+	res    core.Result
+	events []pass.Event
+	tm     PhaseTimings
+	err    error
 }
 
-// compute runs the three phases of core.Optimize on a private clone of g,
-// timing each phase, in a child goroutine so the deadline can abandon it.
-// Context state is checked between phases, so cooperative cancellation is
-// usually prompt; a truly stuck phase is abandoned at the deadline and its
-// goroutine drains in the background (all phases terminate — the fixpoint
-// is monotone — so abandoned work is garbage-collected, not leaked
-// forever).
-func (e *Engine) compute(ctx context.Context, g *ir.Graph) (*ir.Graph, core.Result, PhaseTimings, error) {
+// compute runs the engine's pipeline on a private clone of g with ONE
+// analysis session threaded through every pass, in a child goroutine so
+// the deadline can abandon it. A truly stuck pass is abandoned at the
+// deadline and its goroutine drains in the background (all passes
+// terminate — the fixpoints are monotone or capped — so abandoned work is
+// garbage-collected, not leaked forever).
+func (e *Engine) compute(ctx context.Context, g *ir.Graph) computation {
 	if e.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
@@ -334,41 +440,42 @@ func (e *Engine) compute(ctx context.Context, g *ir.Graph) (*ir.Graph, core.Resu
 		}()
 		var c computation
 		clone := g.Clone()
-		clone.SplitCriticalEdges()
 
-		// One analysis session for all phases: the AM fixpoint and the
-		// final flush share the pooled arena and the universe caches.
+		// One analysis session for the whole pipeline: every pass shares
+		// the pooled arena and the universe caches.
 		s := analysis.NewSession()
 		defer s.Close()
 
-		t := time.Now()
-		c.res.Decomposed = core.Initialize(clone)
-		c.tm.Init = time.Since(t)
-		if err := ctx.Err(); err != nil {
-			ch <- computation{err: err}
-			return
+		hook := func(ev pass.Event) {
+			c.events = append(c.events, ev)
+			c.tm.record(ev)
+			if e.opts.Hook != nil {
+				e.opts.Hook(g.Name, ev)
+			}
 		}
 
-		t = time.Now()
-		c.res.AM = am.RunWith(clone, s)
-		c.tm.AM = time.Since(t)
-		if err := ctx.Err(); err != nil {
-			ch <- computation{err: err}
-			return
+		if len(e.opts.Passes) == 0 {
+			c.res = core.OptimizeWith(clone, s, hook)
+		} else {
+			pl, err := pass.FromNames(e.opts.Passes...)
+			if err != nil {
+				ch <- computation{err: fmt.Errorf("engine: %w", err)}
+				return
+			}
+			pl.Hook = hook
+			if _, err := pl.RunWith(clone, s); err != nil {
+				ch <- computation{err: err}
+				return
+			}
 		}
-
-		t = time.Now()
-		c.res.Flush = flush.RunWith(clone, s)
-		c.tm.Flush = time.Since(t)
 
 		c.g = clone
 		ch <- c
 	}()
 	select {
 	case c := <-ch:
-		c.tm.Total = c.tm.Init + c.tm.AM + c.tm.Flush
-		return c.g, c.res, c.tm, c.err
+		return c
 	case <-ctx.Done():
-		return nil, core.Result{}, PhaseTimings{}, ctx.Err()
+		return computation{err: ctx.Err()}
 	}
 }

@@ -35,7 +35,23 @@ import (
 	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "flush",
+		Description: "final flush: sink temporary initializations to latest points, drop unusable ones, reconstruct single uses",
+		Ref:         "§4.4, Table 3, Lemma 4.4",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			st := RunWith(g, s)
+			return pass.Stats{
+				Changes:    st.DroppedInits + st.InsertedInits + st.Reconstructed,
+				Iterations: 1,
+			}
+		},
+	})
+}
 
 // Info exposes the flush analyses for tests and diagnostics. Vectors are
 // indexed by instruction (analysis.Prog order) and bit-indexed by temp
@@ -108,6 +124,7 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
 		Preds: prog.Preds, Succs: prog.Succs,
 		Arena: ar,
+		Stats: s.DataflowStats(),
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			out.AndNot(used[i])
@@ -126,6 +143,7 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
 		Preds: prog.Preds, Succs: prog.Succs,
 		Arena: ar,
+		Stats: s.DataflowStats(),
 		// Backward: solver "in" is the fact at the instruction's exit
 		// (X-USABLE), "out" at its entry (N-USABLE).
 		Transfer: func(i int, in, out bitvec.Vec) {

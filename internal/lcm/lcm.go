@@ -30,8 +30,21 @@ import (
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/flush"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 	"assignmentmotion/internal/rae"
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "em",
+		Description: "expression-motion baseline: lazy code motion over initialization patterns (original assignments never move)",
+		Ref:         "§1.2, Figure 6(a); Knoop/Rüthing/Steffen PLDI'92",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			st := RunWith(g, s)
+			return pass.Stats{Changes: st.Decomposed + st.Eliminated, Iterations: st.Iterations}
+		},
+	})
+}
 
 // Stats reports what one lazy-code-motion run did.
 type Stats struct {
@@ -47,12 +60,19 @@ type Stats struct {
 
 // Run applies lazy code motion to g in place.
 func Run(g *ir.Graph) Stats {
+	s := analysis.NewSession()
+	defer s.Close()
+	return RunWith(g, s)
+}
+
+// RunWith is Run against an existing session, so a caller driving several
+// passes (the pass pipeline, the §6 EM/CP interleaving) shares one arena
+// and one universe cache across all of them.
+func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 	var st Stats
 	g.SplitCriticalEdges()
 	st.Decomposed = core.Initialize(g)
 
-	s := analysis.NewSession()
-	defer s.Close()
 	isInit := func(p ir.AssignPattern) bool {
 		e, ok := g.TempExpr(p.LHS)
 		return ok && e.Equal(p.RHS)

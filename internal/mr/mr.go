@@ -45,9 +45,24 @@
 package mr
 
 import (
+	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/bitvec"
+	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "mr",
+		Description: "Morel/Renvoise partial redundancy elimination: bidirectional PP system, block-boundary placement only",
+		Ref:         "Morel/Renvoise CACM'79 [19]; §1.2 baseline",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			st := RunWith(g, s)
+			return pass.Stats{Changes: st.Inserted + st.Reloaded + st.Saved, Iterations: 1}
+		},
+	})
+}
 
 // Stats reports what one MR run did.
 type Stats struct {
@@ -66,17 +81,27 @@ type locals struct {
 
 // Run applies Morel/Renvoise PRE to g in place.
 func Run(g *ir.Graph) Stats {
+	return RunWith(g, nil)
+}
+
+// RunWith is Run against session s (nil for the uncached path). MR's four
+// fixpoint systems are hand-rolled round-robin iterations — the
+// bidirectional PP system does not fit the uni-directional solver — so the
+// session is used only to tally their work (one "solve" per system, one
+// sweep per round) for the pass pipeline's per-pass reporting.
+func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 	eu := ir.ExprUniverse(g)
 	bits := eu.Len()
 	var st Stats
 	if bits == 0 {
 		return st
 	}
+	df := s.DataflowStats()
 	loc := computeLocals(g, eu)
 
-	avin, avout := solveAvailability(g, loc, bits)
-	_, antin := solveAnticipability(g, loc, bits)
-	ppin, ppout := solvePP(g, loc, avout, antin, bits)
+	avin, avout := solveAvailability(g, loc, bits, df)
+	_, antin := solveAnticipability(g, loc, bits, df)
+	ppin, ppout := solvePP(g, loc, avout, antin, bits, df)
 	_ = avin
 
 	// Placement predicates per block.
@@ -100,7 +125,7 @@ func Run(g *ir.Graph) Stats {
 	}
 
 	// Demand analysis: which blocks must supply h at their exit.
-	needout := solveDemand(g, loc, inserts, reloads, bits)
+	needout := solveDemand(g, loc, inserts, reloads, bits, df)
 
 	// Transformation. All expressions are transformed in one pass; the
 	// per-expression transformations are independent (each has its own
@@ -117,7 +142,7 @@ func Run(g *ir.Graph) Stats {
 
 // solveDemand computes NEEDOUT: the least fixpoint of the backward demand
 // system above.
-func solveDemand(g *ir.Graph, loc *locals, inserts, reloads []bitvec.Vec, bits int) []bitvec.Vec {
+func solveDemand(g *ir.Graph, loc *locals, inserts, reloads []bitvec.Vec, bits int, df *dataflow.SolveStats) []bitvec.Vec {
 	n := len(g.Blocks)
 	needout := make([]bitvec.Vec, n)
 	needin := make([]bitvec.Vec, n)
@@ -125,8 +150,10 @@ func solveDemand(g *ir.Graph, loc *locals, inserts, reloads []bitvec.Vec, bits i
 		needout[i] = bitvec.New(bits)
 		needin[i] = bitvec.New(bits)
 	}
+	startSolve(df)
 	for changed := true; changed; {
 		changed = false
+		sweep(df, n)
 		for i := n - 1; i >= 0; i-- {
 			b := g.Blocks[i]
 			out := bitvec.New(bits)
@@ -206,12 +233,29 @@ func computeLocals(g *ir.Graph, eu *ir.ExprSet) *locals {
 	return loc
 }
 
-func solveAvailability(g *ir.Graph, loc *locals, bits int) (avin, avout []bitvec.Vec) {
+// startSolve and sweep feed MR's hand-rolled fixpoints into the session's
+// solver tally so per-pass reporting covers them too.
+func startSolve(df *dataflow.SolveStats) {
+	if df != nil {
+		df.Solves++
+	}
+}
+
+func sweep(df *dataflow.SolveStats, visits int) {
+	if df != nil {
+		df.Sweeps++
+		df.Visits += visits
+	}
+}
+
+func solveAvailability(g *ir.Graph, loc *locals, bits int, df *dataflow.SolveStats) (avin, avout []bitvec.Vec) {
 	n := len(g.Blocks)
 	avin = fullVecs(n, bits)
 	avout = fullVecs(n, bits)
+	startSolve(df)
 	for changed := true; changed; {
 		changed = false
+		sweep(df, n)
 		for i, b := range g.Blocks {
 			in := avin[i]
 			if b.ID == g.Entry {
@@ -234,12 +278,14 @@ func solveAvailability(g *ir.Graph, loc *locals, bits int) (avin, avout []bitvec
 	return avin, avout
 }
 
-func solveAnticipability(g *ir.Graph, loc *locals, bits int) (antout, antin []bitvec.Vec) {
+func solveAnticipability(g *ir.Graph, loc *locals, bits int, df *dataflow.SolveStats) (antout, antin []bitvec.Vec) {
 	n := len(g.Blocks)
 	antout = fullVecs(n, bits)
 	antin = fullVecs(n, bits)
+	startSolve(df)
 	for changed := true; changed; {
 		changed = false
+		sweep(df, n)
 		for i := n - 1; i >= 0; i-- {
 			b := g.Blocks[i]
 			out := antout[i]
@@ -264,13 +310,15 @@ func solveAnticipability(g *ir.Graph, loc *locals, bits int) (antout, antin []bi
 }
 
 // solvePP iterates the bidirectional system to its greatest fixpoint.
-func solvePP(g *ir.Graph, loc *locals, avout, antin []bitvec.Vec, bits int) (ppin, ppout []bitvec.Vec) {
+func solvePP(g *ir.Graph, loc *locals, avout, antin []bitvec.Vec, bits int, df *dataflow.SolveStats) (ppin, ppout []bitvec.Vec) {
 	n := len(g.Blocks)
 	ppin = fullVecs(n, bits)
 	ppout = fullVecs(n, bits)
 	scratch := bitvec.New(bits)
+	startSolve(df)
 	for changed := true; changed; {
 		changed = false
+		sweep(df, n)
 		for i, b := range g.Blocks {
 			// PPOUT_i = ∏ succ PPIN (∅ at exit).
 			out := scratch

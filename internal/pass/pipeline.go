@@ -1,0 +1,197 @@
+package pass
+
+import (
+	"fmt"
+	"time"
+
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/verify"
+)
+
+// ArenaMarks is the growth of the session arena's high-water marks during
+// one pass: how much additional peak storage (vector words, ints, vector
+// headers) the pass forced the arena to hold. Inside a warmed-up fixpoint
+// all three are zero — the arena serves every round from storage already
+// carved — which is exactly the allocation-free steady state the arena
+// exists for, now observable per pass.
+type ArenaMarks struct {
+	Words int `json:"words"`
+	Ints  int `json:"ints"`
+	Vecs  int `json:"vecs"`
+}
+
+// Event is the instrumentation record of one executed pass within a
+// pipeline run, delivered to the pipeline's Hook and collected in its
+// Report.
+type Event struct {
+	// Index is the pass's position in the pipeline.
+	Index int `json:"index"`
+	// Pass and Ref identify the pass (registry name and paper anchor).
+	Pass string `json:"pass"`
+	Ref  string `json:"ref,omitempty"`
+	// Stats is the pass's uniform change/iteration report.
+	Stats Stats `json:"stats"`
+	// Wall is the pass's wall-clock time.
+	Wall time.Duration `json:"wall"`
+	// Instruction and block counts around the pass.
+	InstrsBefore int `json:"instrsBefore"`
+	InstrsAfter  int `json:"instrsAfter"`
+	BlocksBefore int `json:"blocksBefore"`
+	BlocksAfter  int `json:"blocksAfter"`
+	// Dataflow is the solver work (solves, node visits, order sweeps)
+	// performed during the pass under the pipeline's session.
+	Dataflow dataflow.SolveStats `json:"dataflow"`
+	// Arena is the growth of the session arena's peak footprint.
+	Arena ArenaMarks `json:"arena"`
+	// Err is the invariant violation detected after the pass (Debug mode
+	// only); the pipeline stops at the first violation.
+	Err error `json:"-"`
+}
+
+// Report aggregates one pipeline run.
+type Report struct {
+	// Events holds one entry per executed pass, in execution order.
+	Events []Event
+	// Wall is the whole run's wall-clock time.
+	Wall time.Duration
+}
+
+// Total sums the uniform stats over all executed passes.
+func (r *Report) Total() Stats {
+	var t Stats
+	for i := range r.Events {
+		t.Add(r.Events[i].Stats)
+	}
+	return t
+}
+
+// InvariantError reports that a pass broke an inter-pass invariant in
+// Debug mode: it names the offending pass and wraps the underlying
+// validation or trace-divergence detail.
+type InvariantError struct {
+	// Pass and Index identify the offending pass.
+	Pass  string
+	Index int
+	// Err is the underlying violation.
+	Err error
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("pass %q (pipeline step %d) broke an invariant: %v", e.Pass, e.Index, e.Err)
+}
+
+func (e *InvariantError) Unwrap() error { return e.Err }
+
+// Pipeline is an executable pass sequence. Construct with New or
+// FromNames; the zero value runs no passes.
+type Pipeline struct {
+	passes []Pass
+	// Hook, when non-nil, receives one Event per executed pass,
+	// immediately after the pass (and its Debug check) finishes. Used by
+	// internal/engine for batch statistics and by amopt -trace-passes.
+	Hook func(Event)
+	// Debug enables inter-pass invariant checking: after every pass the
+	// graph is validated and spot-checked for trace equivalence against
+	// the pre-pass program on random inputs. Roughly doubles the cost of a
+	// run (one clone per pass plus the interpreter runs).
+	Debug bool
+	// DebugRuns is the number of random environments of the spot check
+	// (<= 0 selects 4).
+	DebugRuns int
+}
+
+// New returns a pipeline over the given passes.
+func New(passes ...Pass) *Pipeline {
+	return &Pipeline{passes: passes}
+}
+
+// FromNames resolves names against the registry and returns the pipeline.
+// Unknown names fail with a did-you-mean suggestion.
+func FromNames(names ...string) (*Pipeline, error) {
+	passes, err := Resolve(names...)
+	if err != nil {
+		return nil, err
+	}
+	return New(passes...), nil
+}
+
+// Names returns the pipeline's pass names, in execution order.
+func (pl *Pipeline) Names() []string {
+	names := make([]string, len(pl.passes))
+	for i, p := range pl.passes {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Run executes the pipeline on g in place under a fresh session.
+func (pl *Pipeline) Run(g *ir.Graph) (Report, error) {
+	s := analysis.NewSession()
+	defer s.Close()
+	return pl.RunWith(g, s)
+}
+
+// RunWith executes the pipeline on g in place, threading ONE session
+// through every pass: the arena, the pattern universe, and the iteration
+// orders warmed by one pass are reused by the next. The returned Report
+// carries the per-pass instrumentation; in Debug mode the first invariant
+// violation stops the run and is returned as an *InvariantError (the
+// report still includes the offending pass's event).
+func (pl *Pipeline) RunWith(g *ir.Graph, s *analysis.Session) (Report, error) {
+	var rep Report
+	start := time.Now()
+	defer func() { rep.Wall = time.Since(start) }()
+	for i, p := range pl.passes {
+		ev := Event{Index: i, Pass: p.Name, Ref: p.Ref}
+		var snapshot *ir.Graph
+		if pl.Debug {
+			snapshot = g.Clone()
+		}
+		ev.InstrsBefore, ev.BlocksBefore = g.InstrCount(), len(g.Blocks)
+		df0 := s.DataflowSnapshot()
+		w0, i0, v0 := s.Arena().HighWater()
+
+		t0 := time.Now()
+		ev.Stats = p.RunWith(g, s)
+		ev.Wall = time.Since(t0)
+
+		ev.InstrsAfter, ev.BlocksAfter = g.InstrCount(), len(g.Blocks)
+		ev.Dataflow = s.DataflowSnapshot().Delta(df0)
+		w1, i1, v1 := s.Arena().HighWater()
+		ev.Arena = ArenaMarks{Words: w1 - w0, Ints: i1 - i0, Vecs: v1 - v0}
+
+		if pl.Debug {
+			ev.Err = pl.check(p, i, snapshot, g)
+		}
+		rep.Events = append(rep.Events, ev)
+		if pl.Hook != nil {
+			pl.Hook(ev)
+		}
+		if ev.Err != nil {
+			return rep, ev.Err
+		}
+	}
+	return rep, nil
+}
+
+// check validates the post-pass graph and spot-checks trace equivalence
+// against the pre-pass snapshot. The spot check uses the interpreter's
+// default total semantics (division by zero yields 0), under which even
+// the opt-in dce/pde passes are observation-preserving, so it applies to
+// every registered pass.
+func (pl *Pipeline) check(p Pass, idx int, before, after *ir.Graph) error {
+	if err := after.Validate(); err != nil {
+		return &InvariantError{Pass: p.Name, Index: idx, Err: fmt.Errorf("invalid graph: %w", err)}
+	}
+	runs := pl.DebugRuns
+	if runs <= 0 {
+		runs = 4
+	}
+	rep := verify.Equivalent(before, after, runs, 1)
+	if !rep.Equivalent {
+		return &InvariantError{Pass: p.Name, Index: idx, Err: fmt.Errorf("trace divergence: %s", rep.Detail)}
+	}
+	return nil
+}

@@ -36,7 +36,20 @@ import (
 	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/dce"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "pde",
+		Description: "partial dead code elimination: sink assignments to latest points, then strong-liveness dce, to a fixpoint",
+		Ref:         "§4.3.2 (dual of hoisting); Knoop/Rüthing/Steffen [17]",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			st := RunWith(g, s)
+			return pass.Stats{Changes: st.Removed, Iterations: st.Iterations}
+		},
+	})
+}
 
 // Info holds the sinkability analysis result, indexed by block ID.
 type Info struct {
@@ -73,6 +86,15 @@ func sinkCandidateIndex(b *ir.Block, p *ir.AssignPattern) (int, bool) {
 
 // Analyze computes the sinkability analysis and insertion points for g.
 func Analyze(g *ir.Graph) *Info {
+	return AnalyzeWith(g, nil)
+}
+
+// AnalyzeWith is Analyze with the solver work tallied into session s (nil
+// for the untallied path). The pattern universe is always built fresh —
+// sinking inserts instances in universe order, so reusing a session
+// universe with stale entries could perturb the output relative to a
+// standalone pde run.
+func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 	u := ir.AssignUniverse(g)
 	px := analysis.NewPatternIndex(u)
 	n, bits := len(g.Blocks), u.Len()
@@ -91,6 +113,7 @@ func Analyze(g *ir.Graph) *Info {
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
 		Preds: func(i int) []int { return nodeIDs(g.Blocks[i].Preds) },
 		Succs: func(i int) []int { return nodeIDs(g.Blocks[i].Succs) },
+		Stats: s.DataflowStats(),
 		// Forward: solver "in" is the fact at the block entry
 		// (N-SINKABLE), "out" at its exit (X-SINKABLE).
 		Transfer: func(i int, in, out bitvec.Vec) {
@@ -142,8 +165,13 @@ func nodeIDs(ids []ir.NodeID) []int {
 // the program changed. Critical edges must be split (X-INSERT at a branch
 // node is realized at the entries of its successors).
 func Sink(g *ir.Graph) bool {
+	return SinkWith(g, nil)
+}
+
+// SinkWith is Sink with the analysis work tallied into session s.
+func SinkWith(g *ir.Graph, s *analysis.Session) bool {
 	before := g.Encode()
-	info := Analyze(g)
+	info := AnalyzeWith(g, s)
 
 	prepend := make([][]ir.Instr, len(g.Blocks))
 	appendAtEnd := make([][]ir.Instr, len(g.Blocks))
@@ -202,6 +230,13 @@ type Stats struct {
 // then sinking and strong-liveness dead code elimination alternate until
 // the program stabilizes.
 func Run(g *ir.Graph) Stats {
+	return RunWith(g, nil)
+}
+
+// RunWith is Run against session s (nil for the untallied path): the
+// sinkability and strong-liveness solves report their work into the
+// session so the pass pipeline can attribute it to the pde pass.
+func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 	var st Stats
 	g.SplitCriticalEdges()
 	n := g.InstrCount() + len(g.Blocks)
@@ -212,8 +247,9 @@ func Run(g *ir.Graph) Stats {
 			panic(fmt.Sprintf("pde: no fixpoint after %d iterations", limit))
 		}
 		before := g.Encode()
-		Sink(g)
-		st.Removed += dce.Run(g)
+		SinkWith(g, s)
+		removed, _ := dce.RunWith(g, s)
+		st.Removed += removed
 		if g.Encode() == before {
 			return st
 		}

@@ -70,6 +70,7 @@ func EliminateBlocksWith(g *ir.Graph, s *analysis.Session) int {
 		Succs: bv.Succs,
 		Order: bv.FwdOrder,
 		Arena: ar,
+		Stats: s.DataflowStats(),
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			out.AndNot(kill[i])

@@ -24,6 +24,7 @@ import (
 	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/pass"
 )
 
 // Info holds the analysis result.
@@ -71,6 +72,7 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 		Preds: prog.Preds,
 		Succs: prog.Succs,
 		Arena: ar,
+		Stats: s.DataflowStats(),
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			px.AndNotKill(&prog.Ins[i], out)
@@ -85,6 +87,17 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 		},
 	})
 	return &Info{Prog: prog, U: u, NRedundant: res.In, XRedundant: res.Out}
+}
+
+func init() {
+	pass.Register(pass.Pass{
+		Name:        "rae",
+		Description: "one redundant-assignment-elimination step: remove every totally redundant occurrence",
+		Ref:         "§4.3, Table 2, Figure 14",
+		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+			return pass.Stats{Changes: EliminateBlocksWith(g, s), Iterations: 1}
+		},
+	})
 }
 
 // Eliminate applies the elimination step: it removes every assignment that

@@ -1,0 +1,11 @@
+// The verify tests live in an external test package: they drive the
+// transformation packages (am, aht, rae, ...), which now register
+// themselves with internal/pass, whose pipeline Debug mode in turn calls
+// back into verify — an import cycle if the tests were in-package.
+package verify_test
+
+import "assignmentmotion/internal/verify"
+
+// Equivalent aliases the function under test for the pre-existing
+// in-package call sites.
+var Equivalent = verify.Equivalent
