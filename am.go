@@ -33,6 +33,7 @@ import (
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/emcp"
 	"assignmentmotion/internal/engine"
+	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/interp"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/metrics"
@@ -148,6 +149,63 @@ func NewBatchEngine(opts BatchOptions) *BatchEngine { return engine.New(opts) }
 func OptimizeBatch(ctx context.Context, graphs []*Graph, opts BatchOptions) BatchReport {
 	return engine.OptimizeBatch(ctx, graphs, opts)
 }
+
+// Failure taxonomy, re-exported from internal/fault: every failure a
+// pipeline or batch run can produce matches exactly one of these sentinels
+// under errors.Is, and PassOf extracts the offending pass's name and
+// pipeline position.
+var (
+	// ErrNoFixpoint: an exhaustive fixpoint overran its termination backstop.
+	ErrNoFixpoint = fault.ErrNoFixpoint
+	// ErrInvalidGraph: a pass produced a structurally invalid graph.
+	ErrInvalidGraph = fault.ErrInvalidGraph
+	// ErrPassPanic: a pass panicked and was recovered by the pipeline.
+	ErrPassPanic = fault.ErrPassPanic
+	// ErrBudgetExceeded: a Budget cap (wall time, solver visits, AM
+	// iterations) was exhausted.
+	ErrBudgetExceeded = fault.ErrBudgetExceeded
+	// ErrCanceled: the caller's context was canceled or its deadline
+	// expired (also matches context.Canceled / context.DeadlineExceeded).
+	ErrCanceled = fault.ErrCanceled
+)
+
+// PassOf extracts the pass name and pipeline index from a pipeline
+// failure; ok is false when err carries no position.
+func PassOf(err error) (pass string, index int, ok bool) { return fault.PassOf(err) }
+
+// RecoveryPolicy selects what a pipeline does when a pass fails: stop with
+// the typed error (RecoverFail), restore the last-good checkpoint and stop
+// (RecoverRollback), or restore, skip the pass, and continue
+// (RecoverSkip). See Pipeline.Recovery and BatchOptions.Recovery.
+type RecoveryPolicy = pass.RecoveryPolicy
+
+// The recovery policies.
+const (
+	RecoverFail     = pass.Fail
+	RecoverRollback = pass.Rollback
+	RecoverSkip     = pass.SkipAndContinue
+)
+
+// ParseRecoveryPolicy maps the amopt -on-error spelling ("fail",
+// "rollback", "skip") to a policy.
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) { return pass.ParseRecoveryPolicy(s) }
+
+// Budget caps the resources of one pipeline run (per-pass wall time,
+// dataflow-solver visits, AM fixpoint rounds); violations surface as
+// ErrBudgetExceeded instead of hangs. The zero value imposes no caps.
+type Budget = fault.Budget
+
+// BatchOutcome classifies one graph's fate in a batch: optimized (full
+// pipeline), degraded (the recovery policy rolled back or skipped a
+// failing pass; never cached), or failed.
+type BatchOutcome = engine.Outcome
+
+// The batch outcomes.
+const (
+	BatchOptimized = engine.OutcomeOptimized
+	BatchDegraded  = engine.OutcomeDegraded
+	BatchFailed    = engine.OutcomeFailed
+)
 
 // Pass names an individual transformation for Apply.
 type Pass string

@@ -84,34 +84,38 @@ type batchConfig struct {
 	dot      bool
 	run      string
 	trace    bool
+	recovery assignmentmotion.RecoveryPolicy
 }
 
 type batchGraphJSON struct {
-	Name         string `json:"name"`
-	File         string `json:"file"`
-	Error        string `json:"error,omitempty"`
-	CacheHit     bool   `json:"cacheHit"`
-	AMIterations int    `json:"amIterations"`
-	Wall         string `json:"wall"`
-	Verified     int    `json:"verifiedInputs,omitempty"`
-	Program      string `json:"program,omitempty"`
+	Name         string   `json:"name"`
+	File         string   `json:"file"`
+	Outcome      string   `json:"outcome"`
+	Error        string   `json:"error,omitempty"`
+	Failures     []string `json:"failures,omitempty"`
+	CacheHit     bool     `json:"cacheHit"`
+	AMIterations int      `json:"amIterations"`
+	Wall         string   `json:"wall"`
+	Verified     int      `json:"verifiedInputs,omitempty"`
+	Program      string   `json:"program,omitempty"`
 }
 
 type batchJSON struct {
-	Passes []assignmentmotion.BatchPassAggregate `json:"passes,omitempty"`
-	Graphs       int              `json:"graphs"`
-	Succeeded    int              `json:"succeeded"`
-	Failed       int              `json:"failed"`
-	CacheHits    int              `json:"cacheHits"`
-	CacheMisses  int              `json:"cacheMisses"`
-	Parallelism  int              `json:"parallelism"`
-	Wall         string           `json:"wall"`
-	PhaseInit    string           `json:"phaseInit"`
-	PhaseAM      string           `json:"phaseAm"`
-	PhaseFlush   string           `json:"phaseFlush"`
-	AMIterations int              `json:"amIterations"`
-	MaxAMIters   int              `json:"maxAmIterations"`
-	Results      []batchGraphJSON `json:"results"`
+	Passes       []assignmentmotion.BatchPassAggregate `json:"passes,omitempty"`
+	Graphs       int                                   `json:"graphs"`
+	Succeeded    int                                   `json:"succeeded"`
+	Degraded     int                                   `json:"degraded"`
+	Failed       int                                   `json:"failed"`
+	CacheHits    int                                   `json:"cacheHits"`
+	CacheMisses  int                                   `json:"cacheMisses"`
+	Parallelism  int                                   `json:"parallelism"`
+	Wall         string                                `json:"wall"`
+	PhaseInit    string                                `json:"phaseInit"`
+	PhaseAM      string                                `json:"phaseAm"`
+	PhaseFlush   string                                `json:"phaseFlush"`
+	AMIterations int                                   `json:"amIterations"`
+	MaxAMIters   int                                   `json:"maxAmIterations"`
+	Results      []batchGraphJSON                      `json:"results"`
 }
 
 func runBatch(files []string, cfg batchConfig, out io.Writer) error {
@@ -153,7 +157,7 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 			g, err = assignmentmotion.Parse(string(data))
 		}
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return exitf(exitParse, "%s: %v", path, err)
 		}
 		graphs[i] = g
 	}
@@ -162,6 +166,7 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 		Parallelism: cfg.parallel,
 		Timeout:     cfg.timeout,
 		Passes:      pipeline,
+		Recovery:    cfg.recovery,
 	}
 	if cfg.trace && !cfg.json {
 		// Workers report concurrently; serialize the trace lines.
@@ -191,7 +196,7 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 			verified[i] = vrep.Runs
 		}
 		if verr != nil {
-			return verr
+			return &exitError{code: exitOptimizeFailed, err: verr}
 		}
 	}
 
@@ -199,6 +204,7 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 		j := batchJSON{
 			Graphs:       rep.Graphs,
 			Succeeded:    rep.Succeeded,
+			Degraded:     rep.Degraded,
 			Failed:       rep.Failed,
 			CacheHits:    rep.CacheHits,
 			CacheMisses:  rep.CacheMisses,
@@ -215,10 +221,14 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 			gj := batchGraphJSON{
 				Name:         r.Name,
 				File:         files[i],
+				Outcome:      string(r.Outcome),
 				CacheHit:     r.CacheHit,
 				AMIterations: r.Result.AM.Iterations,
 				Wall:         r.Timings.Total.String(),
 				Verified:     verified[i],
+			}
+			for _, f := range r.Failures {
+				gj.Failures = append(gj.Failures, f.Error())
 			}
 			if r.Err != nil {
 				gj.Error = r.Err.Error()
@@ -234,9 +244,11 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 		}
 	} else {
 		for i, r := range rep.Results {
-			status := "ok"
+			status := string(r.Outcome)
 			if r.Err != nil {
-				status = "ERROR: " + r.Err.Error()
+				status = "failed: " + r.Err.Error()
+			} else if r.Outcome == assignmentmotion.BatchDegraded && len(r.Failures) > 0 {
+				status = fmt.Sprintf("degraded (%v)", r.Failures[0])
 			}
 			cache := "miss"
 			if r.CacheHit {
@@ -246,8 +258,8 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 				r.Name, files[i], status, r.Timings.Total.Round(time.Microsecond), r.Result.AM.Iterations, cache)
 		}
 		if cfg.stats {
-			fmt.Fprintf(out, "# batch: %d graphs, %d ok, %d failed, %d cache hits, %d misses, parallelism %d\n",
-				rep.Graphs, rep.Succeeded, rep.Failed, rep.CacheHits, rep.CacheMisses, rep.Parallelism)
+			fmt.Fprintf(out, "# batch: %d graphs, %d ok (%d degraded), %d failed, %d cache hits, %d misses, parallelism %d\n",
+				rep.Graphs, rep.Succeeded, rep.Degraded, rep.Failed, rep.CacheHits, rep.CacheMisses, rep.Parallelism)
 			fmt.Fprintf(out, "# phase wall: init=%v am=%v flush=%v (sum %v across workers)\n",
 				rep.Phase.Init.Round(time.Microsecond), rep.Phase.AM.Round(time.Microsecond),
 				rep.Phase.Flush.Round(time.Microsecond), rep.Phase.Total.Round(time.Microsecond))
@@ -263,7 +275,11 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 	}
 
 	if rep.Failed > 0 {
-		return fmt.Errorf("%d of %d graphs failed", rep.Failed, rep.Graphs)
+		return exitf(exitOptimizeFailed, "%d of %d graphs failed", rep.Failed, rep.Graphs)
+	}
+	if rep.Degraded > 0 {
+		return exitf(exitDegraded, "%d of %d graphs degraded under -on-error=%s",
+			rep.Degraded, rep.Graphs, cfg.recovery)
 	}
 	return nil
 }

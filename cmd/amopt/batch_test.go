@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,7 +55,7 @@ func TestBatchDirectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"# batch: 3 graphs, 3 ok, 0 failed", "cache=hit", "am iterations:"} {
+	for _, want := range []string{"# batch: 3 graphs, 3 ok (0 degraded), 0 failed", "cache=hit", "am iterations:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
@@ -71,8 +72,8 @@ func TestBatchMultipleFiles(t *testing.T) {
 	if !strings.Contains(out, "cache=hit") {
 		t.Errorf("duplicate file not served from cache:\n%s", out)
 	}
-	if strings.Count(out, " ok ") != 3 {
-		t.Errorf("expected 3 ok lines:\n%s", out)
+	if strings.Count(out, " optimized ") != 3 {
+		t.Errorf("expected 3 optimized lines:\n%s", out)
 	}
 }
 
@@ -143,5 +144,47 @@ func TestBatchParseErrorNamesFile(t *testing.T) {
 	}
 	if _, err := runCLI(t, good, bad); err == nil || !strings.Contains(err.Error(), "bad.fg") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// exitCodeOf extracts the exit code run() would map an error to.
+func exitCodeOf(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return exitUsage
+}
+
+func TestExitCodes(t *testing.T) {
+	dir := writeBatchDir(t)
+	a := filepath.Join(dir, "a.fg")
+	bad := filepath.Join(dir, "bad.fg")
+	if err := os.WriteFile(bad, []byte("graph oops {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := runCLI(t, a)
+	if code := exitCodeOf(err); code != exitOK {
+		t.Errorf("clean run: exit %d (%v), want %d", code, err, exitOK)
+	}
+	_, err = runCLI(t, "-pass", "emc", a)
+	if code := exitCodeOf(err); code != exitUsage {
+		t.Errorf("unknown pass: exit %d (%v), want %d", code, err, exitUsage)
+	}
+	_, err = runCLI(t, "-on-error", "explode", a)
+	if code := exitCodeOf(err); code != exitUsage {
+		t.Errorf("bad -on-error: exit %d (%v), want %d", code, err, exitUsage)
+	}
+	_, err = runCLI(t, bad)
+	if code := exitCodeOf(err); code != exitParse {
+		t.Errorf("parse error (single): exit %d (%v), want %d", code, err, exitParse)
+	}
+	_, err = runCLI(t, a, bad)
+	if code := exitCodeOf(err); code != exitParse {
+		t.Errorf("parse error (batch): exit %d (%v), want %d", code, err, exitParse)
 	}
 }

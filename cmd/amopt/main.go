@@ -35,6 +35,19 @@
 //	-timeout D                   per-graph deadline, e.g. 500ms
 //	-stats                       print the aggregated batch report
 //
+// Failure handling:
+//
+//	-on-error fail|rollback|skip what to do when a pass fails (panic,
+//	                             fixpoint overrun, invalid result):
+//	                             fail stops with the typed error, rollback
+//	                             restores the last-good checkpoint and
+//	                             stops, skip restores and continues with
+//	                             the remaining passes
+//
+// Exit codes: 0 success; 1 usage (bad flags, unknown pass, unreadable
+// input); 2 parse error; 3 optimization failed; 4 degraded (every result
+// is valid, but -on-error recovery absorbed at least one pass failure).
+//
 // Examples:
 //
 //	amopt -figure running -pass globalg            # reproduce Figure 15
@@ -52,6 +65,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,11 +80,43 @@ import (
 	"assignmentmotion/internal/figures"
 )
 
+// Exit codes. Scripts driving amopt over corpora can tell "the input was
+// bad" from "the optimizer failed" from "the optimizer recovered but the
+// result is not the full optimization".
+const (
+	exitOK             = 0 // success
+	exitUsage          = 1 // bad flags, unknown pass/figure, unreadable input
+	exitParse          = 2 // input failed to parse
+	exitOptimizeFailed = 3 // the pipeline (or ≥1 batch graph) failed
+	exitDegraded       = 4 // recovered: every result valid, some not fully optimized
+)
+
+// exitError tags an error with the process exit code it should map to.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+// exitf builds an exitError in one line.
+func exitf(code int, format string, args ...any) error {
+	return &exitError{code: code, err: fmt.Errorf(format, args...)}
+}
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "amopt:", err)
-		os.Exit(1)
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		os.Exit(exitOK)
 	}
+	code := exitUsage
+	var ee *exitError
+	if errors.As(err, &ee) {
+		code = ee.code
+	}
+	fmt.Fprintln(os.Stderr, "amopt:", err)
+	os.Exit(code)
 }
 
 func run(args []string, out io.Writer) error {
@@ -93,6 +139,7 @@ func run(args []string, out io.Writer) error {
 	parallelFlag := fs.Int("parallel", 0, "batch mode: worker goroutines (0 = GOMAXPROCS)")
 	timeoutFlag := fs.Duration("timeout", 0, "batch mode: per-graph optimization deadline (0 = none)")
 	statsFlag := fs.Bool("stats", false, "batch mode: print the aggregated batch report")
+	onErrorFlag := fs.String("on-error", "fail", "pass-failure recovery: fail, rollback, or skip")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +170,11 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintln(os.Stderr, "amopt: -memprofile:", err)
 			}
 		}()
+	}
+
+	recovery, err := assignmentmotion.ParseRecoveryPolicy(*onErrorFlag)
+	if err != nil {
+		return fmt.Errorf("-on-error: %w", err)
 	}
 
 	passSpec := *passFlag
@@ -161,11 +213,11 @@ func run(args []string, out io.Writer) error {
 			dot:      *dotFlag,
 			run:      *runFlag,
 			trace:    *traceFlag,
+			recovery: recovery,
 		}, out)
 	}
 
 	var g *assignmentmotion.Graph
-	var err error
 	if *randomFlag >= 0 {
 		g = assignmentmotion.RandomStructured(*randomFlag, assignmentmotion.GenConfig{Size: *randomSize})
 	} else {
@@ -185,9 +237,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	prep, err := assignmentmotion.ApplyPipeline(g, parsePasses(passSpec)...)
+	pl, err := assignmentmotion.NewPipeline(parsePasses(passSpec)...)
 	if err != nil {
-		return err
+		return err // unknown pass name: usage
+	}
+	pl.Recovery = recovery
+	prep, err := pl.Run(g)
+	if err != nil {
+		return exitf(exitOptimizeFailed, "%v", err)
 	}
 	if *traceFlag {
 		for _, ev := range prep.Events {
@@ -195,7 +252,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if err := g.Validate(); err != nil {
-		return fmt.Errorf("pipeline produced an invalid graph: %w", err)
+		return exitf(exitOptimizeFailed, "pipeline produced an invalid graph: %v", err)
 	}
 
 	if *metricsFlag || *jsonFlag {
@@ -209,7 +266,7 @@ func run(args []string, out io.Writer) error {
 	if *verifyFlag > 0 {
 		rep := assignmentmotion.Equivalent(orig, g, *verifyFlag, 1)
 		if !rep.Equivalent {
-			return fmt.Errorf("semantics changed: %s", rep.Detail)
+			return exitf(exitOptimizeFailed, "semantics changed: %s", rep.Detail)
 		}
 		report.Verified = rep.Runs
 		report.ExprEvalsBefore, report.ExprEvalsAfter = rep.A.ExprEvals, rep.B.ExprEvals
@@ -249,7 +306,13 @@ func run(args []string, out io.Writer) error {
 		report.Program = assignmentmotion.Format(g)
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	}
+	if prep.Degraded() {
+		return exitf(exitDegraded, "pipeline degraded: %d pass failure(s) absorbed by -on-error=%s",
+			len(prep.Failures), recovery)
 	}
 	return nil
 }
@@ -294,6 +357,12 @@ func formatPassEvent(ev assignmentmotion.PassEvent) string {
 		ev.Dataflow.Solves, ev.Dataflow.Visits, ev.Dataflow.Sweeps)
 	if ev.Arena.Words != 0 || ev.Arena.Ints != 0 || ev.Arena.Vecs != 0 {
 		line += fmt.Sprintf(" arena+=(%dw,%di,%dv)", ev.Arena.Words, ev.Arena.Ints, ev.Arena.Vecs)
+	}
+	if ev.Outcome != "ok" && ev.Outcome != "" {
+		line += " outcome=" + ev.Outcome
+		if ev.Err != nil {
+			line += fmt.Sprintf(" err=%q", ev.Err)
+		}
 	}
 	return line
 }
@@ -341,15 +410,18 @@ func load(fs *flag.FlagSet, figure string, nested, prog bool) (*assignmentmotion
 		}
 		src = string(data)
 	}
+	var g *assignmentmotion.Graph
+	var err error
 	switch {
 	case prog:
-		return assignmentmotion.ParseProgram(src)
+		g, err = assignmentmotion.ParseProgram(src)
 	case nested:
-		return assignmentmotion.ParseNested(src)
+		g, err = assignmentmotion.ParseNested(src)
+	default:
+		g, err = assignmentmotion.Parse(src)
 	}
-	g, err := assignmentmotion.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("%s:%w", path, err)
+		return nil, exitf(exitParse, "%s:%v", path, err)
 	}
 	return g, nil
 }

@@ -34,13 +34,13 @@ func init() {
 		Name:        "aht",
 		Description: "one assignment-hoisting step: insert at maximal-hoisting points, remove all candidates",
 		Ref:         "§4.3, Table 1, Figure 13",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			g.SplitCriticalEdges() // X-INSERT at branch nodes needs split edges
 			changes := 0
 			if ApplyWith(g, s, nil) {
 				changes = 1
 			}
-			return pass.Stats{Changes: changes, Iterations: 1}
+			return pass.Stats{Changes: changes, Iterations: 1}, nil
 		},
 	})
 }

@@ -13,18 +13,19 @@
 // Fixpoint detection is signal-based: aht.ApplyWith reports precisely
 // whether it changed any instruction sequence and rae's removal count is
 // zero exactly when it left the program alone, so a round with
-// !hoisted && removed == 0 is the fixpoint. The previous implementation
-// serialized the whole graph (g.Encode()) up to three times per round to
-// compare strings; on the batch benchmark that serialization was pure
-// overhead. The iteration limit stays as a backstop that turns a
-// termination bug into a loud panic instead of a hang.
+// !hoisted && removed == 0 is the fixpoint. The iteration limit stays as
+// a backstop that turns a termination bug into a typed failure instead of
+// a hang: the Try* entry points return it as a *fault.NoFixpointError,
+// and each round additionally honours the session's budget and
+// cancellation context (fault.ErrBudgetExceeded / fault.ErrCanceled).
+// The legacy Run* entry points are thin wrappers that keep the historical
+// contract — they panic on any of those failures.
 package am
 
 import (
-	"fmt"
-
 	"assignmentmotion/internal/aht"
 	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/pass"
 	"assignmentmotion/internal/rae" // block-level elimination: identical results (see rae.EliminateBlocks), smaller solver
@@ -35,18 +36,18 @@ func init() {
 		Name:        "am",
 		Description: "exhaustive assignment motion: the aht/rae fixpoint capturing all second-order effects",
 		Ref:         "§4.3, Tables 1–2, Lemma 4.2",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
-			st := RunWith(g, s)
-			return pass.Stats{Changes: st.Eliminated, Iterations: st.Iterations}
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+			st, err := TryRunWith(g, s)
+			return pass.Stats{Changes: st.Eliminated, Iterations: st.Iterations}, err
 		},
 	})
 	pass.Register(pass.Pass{
 		Name:        "am-restricted",
 		Description: "Dhamdhere-style restricted AM: only immediately profitable hoistings (misses second-order effects)",
 		Ref:         "§1.4, Figure 8; Dhamdhere [6]",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
-			st := RunRestrictedWith(g, s)
-			return pass.Stats{Changes: st.Eliminated, Iterations: st.Iterations}
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+			st, err := TryRunRestrictedWith(g, s)
+			return pass.Stats{Changes: st.Eliminated, Iterations: st.Iterations}, err
 		},
 	})
 }
@@ -66,24 +67,53 @@ type Stats struct {
 // Run applies the assignment motion phase to g in place: it splits
 // critical edges, then alternates aht and rae until the program is
 // invariant under both. The result is relatively assignment-optimal in the
-// universe G* (Lemma 4.2).
+// universe G* (Lemma 4.2). It panics if the fixpoint fails (see TryRun).
 func Run(g *ir.Graph) Stats {
 	s := analysis.NewSession()
 	defer s.Close()
 	return RunWith(g, s)
 }
 
+// TryRun is Run returning fixpoint failure as a typed error instead of
+// panicking.
+func TryRun(g *ir.Graph) (Stats, error) {
+	s := analysis.NewSession()
+	defer s.Close()
+	return TryRunWith(g, s)
+}
+
 // RunWith is Run against an existing session, so a caller driving several
 // phases (core.Optimize) shares one arena and one universe cache across
-// all of them.
+// all of them. Like Run it panics when the fixpoint fails; fault-aware
+// callers use TryRunWith.
 func RunWith(g *ir.Graph, s *analysis.Session) Stats {
+	st, err := TryRunWith(g, s)
+	if err != nil {
+		panic("am: " + err.Error())
+	}
+	return st
+}
+
+// TryRunWith is the fallible core of the assignment-motion phase. An
+// iteration-limit overrun returns a *fault.NoFixpointError; an exhausted
+// session budget or a canceled session context returns the corresponding
+// typed fault error. In every error case the graph is left in the valid,
+// semantics-preserved state of the last completed round — each round is a
+// complete admissible transformation, so stopping between rounds never
+// corrupts the program (it is merely not optimal yet).
+func TryRunWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
 	limit := iterationLimit(g)
 	for {
 		st.Iterations++
 		if st.Iterations > limit {
-			panic(fmt.Sprintf("am: no fixpoint after %d iterations (termination bug)", limit))
+			st.Iterations = limit
+			return st, &fault.NoFixpointError{Proc: "am", Iterations: limit, Limit: limit}
+		}
+		if err := s.CheckBudget(st.Iterations); err != nil {
+			st.Iterations--
+			return st, err
 		}
 		hoisted := aht.ApplyWith(g, s, nil)
 		removed := rae.EliminateBlocksWith(g, s)
@@ -92,7 +122,7 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 		// hoisting round can never be silently undone by the elimination
 		// that follows it: no change in either procedure is the fixpoint.
 		if !hoisted && removed == 0 {
-			return st
+			return st, nil
 		}
 	}
 }
@@ -127,7 +157,17 @@ func RunBounded(g *ir.Graph, maxIterations int) Stats {
 // opposite order within each round (rae before aht). By the local
 // confluence of the rewrite relation (Lemma 3.6) both orders reach
 // cost-equivalent fixpoints; the verify package checks this empirically.
+// Panics on fixpoint failure, like Run.
 func RunEliminateFirst(g *ir.Graph) Stats {
+	st, err := TryRunEliminateFirst(g)
+	if err != nil {
+		panic("am: " + err.Error())
+	}
+	return st
+}
+
+// TryRunEliminateFirst is RunEliminateFirst with typed-error reporting.
+func TryRunEliminateFirst(g *ir.Graph) (Stats, error) {
 	s := analysis.NewSession()
 	defer s.Close()
 	var st Stats
@@ -136,13 +176,18 @@ func RunEliminateFirst(g *ir.Graph) Stats {
 	for {
 		st.Iterations++
 		if st.Iterations > limit {
-			panic(fmt.Sprintf("am: no fixpoint after %d iterations (termination bug)", limit))
+			st.Iterations = limit
+			return st, &fault.NoFixpointError{Proc: "am (eliminate-first)", Iterations: limit, Limit: limit}
+		}
+		if err := s.CheckBudget(st.Iterations); err != nil {
+			st.Iterations--
+			return st, err
 		}
 		removed := rae.EliminateBlocksWith(g, s)
 		st.Eliminated += removed
 		hoisted := aht.ApplyWith(g, s, nil)
 		if removed == 0 && !hoisted {
-			return st
+			return st, nil
 		}
 	}
 }
@@ -153,7 +198,7 @@ func RunEliminateFirst(g *ir.Graph) Stats {
 // elimination) strictly decreases the number of occurrences of α. Rounds
 // repeat until no profitable hoisting remains. Redundant assignment
 // elimination itself is always applied — the restriction is on hoisting
-// only, matching [6].
+// only, matching [6]. Panics on fixpoint failure.
 func RunRestricted(g *ir.Graph) Stats {
 	s := analysis.NewSession()
 	defer s.Close()
@@ -162,13 +207,28 @@ func RunRestricted(g *ir.Graph) Stats {
 
 // RunRestrictedWith is RunRestricted against an existing session.
 func RunRestrictedWith(g *ir.Graph, s *analysis.Session) Stats {
+	st, err := TryRunRestrictedWith(g, s)
+	if err != nil {
+		panic("am: " + err.Error())
+	}
+	return st
+}
+
+// TryRunRestrictedWith is the fallible core of restricted AM, with the
+// same error contract as TryRunWith.
+func TryRunRestrictedWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
 	limit := iterationLimit(g)
 	for {
 		st.Iterations++
 		if st.Iterations > limit {
-			panic(fmt.Sprintf("am: restricted AM did not stabilize after %d iterations", limit))
+			st.Iterations = limit
+			return st, &fault.NoFixpointError{Proc: "am-restricted", Iterations: limit, Limit: limit}
+		}
+		if err := s.CheckBudget(st.Iterations); err != nil {
+			st.Iterations--
+			return st, err
 		}
 		removed := rae.EliminateBlocksWith(g, s)
 		st.Eliminated += removed
@@ -189,7 +249,7 @@ func RunRestrictedWith(g *ir.Graph, s *analysis.Session) Stats {
 			}
 		}
 		if !changed {
-			return st
+			return st, nil
 		}
 	}
 }

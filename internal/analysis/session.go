@@ -1,8 +1,12 @@
 package analysis
 
 import (
+	"context"
+	"time"
+
 	"assignmentmotion/internal/arena"
 	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
 )
 
@@ -26,6 +30,13 @@ import (
 type Session struct {
 	ar *arena.Arena
 	df dataflow.SolveStats
+
+	// Fault-tolerance state: the run's context and budget, plus the
+	// per-pass baselines the budget is measured against. See CheckBudget.
+	ctx        context.Context
+	budget     fault.Budget
+	passStart  time.Time
+	passVisits int
 
 	g        *ir.Graph
 	u        *ir.PatternSet
@@ -86,6 +97,94 @@ func (s *Session) DataflowSnapshot() dataflow.SolveStats {
 		return dataflow.SolveStats{}
 	}
 	return s.df
+}
+
+// SetContext attaches the run's cancellation context to the session, so
+// fixpoint procedures observe engine deadlines between rounds (through
+// CheckBudget), not only between graphs. Nil-safe no-op.
+func (s *Session) SetContext(ctx context.Context) {
+	if s == nil {
+		return
+	}
+	s.ctx = ctx
+}
+
+// Context returns the attached context, or context.Background when none
+// was set (or the session is nil).
+func (s *Session) Context() context.Context {
+	if s == nil || s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// SetBudget attaches a resource budget to the session. The pass pipeline
+// sets it from Pipeline.Budget; a nil session accepts (and ignores) it.
+func (s *Session) SetBudget(b fault.Budget) {
+	if s == nil {
+		return
+	}
+	s.budget = b
+}
+
+// Budget returns the attached budget (zero for a nil session).
+func (s *Session) Budget() fault.Budget {
+	if s == nil {
+		return fault.Budget{}
+	}
+	return s.budget
+}
+
+// BeginPass marks a pass boundary for budget accounting: the per-pass
+// wall clock and solver-visit baselines reset here. The pipeline calls it
+// immediately before running each pass. Nil-safe no-op.
+func (s *Session) BeginPass() {
+	if s == nil {
+		return
+	}
+	s.passVisits = s.df.Visits
+	if !s.budget.Zero() {
+		s.passStart = time.Now()
+	}
+}
+
+// CheckBudget reports the first violated constraint of the session's
+// budget or context as a typed fault error, or nil. Fixpoint procedures
+// (the AM phase, the EM/CP interleaving) call it once per round with
+// their current round count, which turns runaway fixpoints and expired
+// engine deadlines into typed failures at the next round boundary instead
+// of hangs. amIters is the caller's current fixpoint round (pass 0 from
+// non-iterating contexts). Nil-safe: a nil session has no budget and no
+// context, so the check is free and always passes.
+func (s *Session) CheckBudget(amIters int) error {
+	if s == nil {
+		return nil
+	}
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			return &fault.CanceledError{Err: s.ctx.Err()}
+		default:
+		}
+	}
+	b := s.budget
+	if b.Zero() {
+		return nil
+	}
+	if b.MaxAMIterations > 0 && amIters > b.MaxAMIterations {
+		return &fault.BudgetError{Resource: "am iterations", Used: int64(amIters), Limit: int64(b.MaxAMIterations)}
+	}
+	if b.MaxSolverVisits > 0 {
+		if used := s.df.Visits - s.passVisits; used > b.MaxSolverVisits {
+			return &fault.BudgetError{Resource: "solver visits", Used: int64(used), Limit: int64(b.MaxSolverVisits)}
+		}
+	}
+	if b.MaxPassWall > 0 && !s.passStart.IsZero() {
+		if used := time.Since(s.passStart); used > b.MaxPassWall {
+			return &fault.BudgetError{Resource: "pass wall time", Used: int64(used), Limit: int64(b.MaxPassWall)}
+		}
+	}
+	return nil
 }
 
 // Universe returns the assignment-pattern universe of g and its

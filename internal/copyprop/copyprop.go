@@ -19,9 +19,9 @@ func init() {
 		Name:        "copyprop",
 		Description: "global copy propagation: replace uses through available copies, iterated to a fixpoint",
 		Ref:         "§6, Figure 20(a); cf. [8]",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			replaced, rounds := RunWith(g, s)
-			return pass.Stats{Changes: replaced, Iterations: rounds}
+			return pass.Stats{Changes: replaced, Iterations: rounds}, nil
 		},
 	})
 }

@@ -55,16 +55,27 @@ func Optimize(g *ir.Graph) Result {
 // OptimizeWith is Optimize as a three-pass pipeline (init, am, flush) over
 // an existing session. The optional hook receives one instrumented event
 // per phase — wall time, instruction deltas, solver work — which is how
-// internal/engine and amopt observe the global algorithm per phase.
+// amopt observes the global algorithm per phase. It panics on a pipeline
+// failure (the legacy contract); fault-aware callers use TryOptimizeWith
+// or run Phases under their own pipeline, as internal/engine does.
 func OptimizeWith(g *ir.Graph, s *analysis.Session, hook func(pass.Event)) Result {
-	var res Result
-	pl := pass.New(Phases(&res)...)
-	pl.Hook = hook
-	// The pipeline only errors in Debug mode, which Phases does not enable.
-	if _, err := pl.RunWith(g, s); err != nil {
+	res, err := TryOptimizeWith(g, s, hook)
+	if err != nil {
 		panic("core: global pipeline failed: " + err.Error())
 	}
 	return res
+}
+
+// TryOptimizeWith is OptimizeWith returning pipeline failures (fixpoint
+// overrun, exhausted session budget, cancellation) as typed fault errors.
+// The run inherits the session's context, so a deadline attached there
+// interrupts the AM fixpoint between rounds.
+func TryOptimizeWith(g *ir.Graph, s *analysis.Session, hook func(pass.Event)) (Result, error) {
+	var res Result
+	pl := pass.New(Phases(&res)...)
+	pl.Hook = hook
+	_, err := pl.RunWith(nil, g, s)
+	return res, err
 }
 
 // Phases returns the three phases of the global algorithm as pipeline
@@ -79,19 +90,20 @@ func Phases(res *Result) []pass.Pass {
 		res = &Result{}
 	}
 	return []pass.Pass{
-		phase("init", func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		phase("init", func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			g.SplitCriticalEdges()
 			res.Decomposed = Initialize(g)
-			return pass.Stats{Changes: res.Decomposed, Iterations: 1}
+			return pass.Stats{Changes: res.Decomposed, Iterations: 1}, nil
 		}),
-		phase("am", func(g *ir.Graph, s *analysis.Session) pass.Stats {
-			res.AM = am.RunWith(g, s)
-			return pass.Stats{Changes: res.AM.Eliminated, Iterations: res.AM.Iterations}
+		phase("am", func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+			var err error
+			res.AM, err = am.TryRunWith(g, s)
+			return pass.Stats{Changes: res.AM.Eliminated, Iterations: res.AM.Iterations}, err
 		}),
-		phase("flush", func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		phase("flush", func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			res.Flush = flush.RunWith(g, s)
 			changes := res.Flush.DroppedInits + res.Flush.InsertedInits + res.Flush.Reconstructed
-			return pass.Stats{Changes: changes, Iterations: 1}
+			return pass.Stats{Changes: changes, Iterations: 1}, nil
 		}),
 	}
 }
@@ -100,7 +112,7 @@ func Phases(res *Result) []pass.Pass {
 // imported am and flush packages, and core's own "init", are guaranteed to
 // have run) and overrides the body with a closure that additionally
 // captures the typed phase statistics.
-func phase(name string, run func(*ir.Graph, *analysis.Session) pass.Stats) pass.Pass {
+func phase(name string, run func(*ir.Graph, *analysis.Session) (pass.Stats, error)) pass.Pass {
 	p, ok := pass.Lookup(name)
 	if !ok {
 		panic("core: phase " + name + " not registered")
@@ -114,22 +126,22 @@ func init() {
 		Name:        "init",
 		Description: "initialization: decompose every assignment and condition side through a temporary (EM becomes AM)",
 		Ref:         "§4.2, Figure 12, Lemma 4.1",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			g.SplitCriticalEdges()
-			return pass.Stats{Changes: Initialize(g), Iterations: 1}
+			return pass.Stats{Changes: Initialize(g), Iterations: 1}, nil
 		},
 	})
 	pass.Register(pass.Pass{
 		Name:        "globalg",
 		Description: "the full global algorithm: init, exhaustive assignment motion, final flush",
 		Ref:         "§4, Theorems 5.2–5.4",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
-			res := OptimizeWith(g, s, nil)
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+			res, err := TryOptimizeWith(g, s, nil)
 			return pass.Stats{
 				Changes: res.Decomposed + res.AM.Eliminated +
 					res.Flush.DroppedInits + res.Flush.InsertedInits + res.Flush.Reconstructed,
 				Iterations: res.AM.Iterations,
-			}
+			}, err
 		},
 	})
 }

@@ -27,9 +27,9 @@ func init() {
 		Name:        "dce",
 		Description: "dead assignment elimination by strong liveness (faint code), iterated to a fixpoint",
 		Ref:         "§3 footnote 3; cf. [11, 17]",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			removed, rounds := RunWith(g, s)
-			return pass.Stats{Changes: removed, Iterations: rounds}
+			return pass.Stats{Changes: removed, Iterations: rounds}, nil
 		},
 	})
 }

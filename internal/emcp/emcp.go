@@ -27,12 +27,12 @@ func init() {
 		Name:        "emcp",
 		Description: "EM/CP interleaving: lazy code motion alternating with copy propagation to a (capped) fixpoint",
 		Ref:         "§6, Figure 20(a); cf. [8]",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
-			st := RunWith(g, s)
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+			st, err := TryRunWith(g, s)
 			return pass.Stats{
 				Changes:    st.Eliminated + st.Replaced,
 				Iterations: st.Rounds,
-			}
+			}, err
 		},
 	})
 }
@@ -63,11 +63,29 @@ func Run(g *ir.Graph) Stats {
 // RunWith is Run against an existing session: every EM and CP round
 // shares one arena and one universe cache instead of rebuilding them per
 // round, which is where the legacy facade loop spent most of its
-// allocations.
+// allocations. Budget and cancellation failures panic (legacy contract);
+// fault-aware callers use TryRunWith.
 func RunWith(g *ir.Graph, s *analysis.Session) Stats {
+	st, err := TryRunWith(g, s)
+	if err != nil {
+		panic("emcp: " + err.Error())
+	}
+	return st
+}
+
+// TryRunWith is the fallible form of RunWith: each EM+CP round honours
+// the session's budget and cancellation context, so an engine deadline
+// interrupts the interleaving between rounds instead of between graphs.
+// On error the graph is left in the valid state of the last completed
+// round (every round is a complete, semantics-preserving transformation).
+func TryRunWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
 	var st Stats
 	for st.Rounds < MaxRounds {
 		st.Rounds++
+		if err := s.CheckBudget(st.Rounds); err != nil {
+			st.Rounds--
+			return st, err
+		}
 		before := g.Encode()
 		em := lcm.RunWith(g, s)
 		st.Decomposed += em.Decomposed
@@ -75,8 +93,8 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 		replaced, _ := copyprop.RunWith(g, s)
 		st.Replaced += replaced
 		if g.Encode() == before {
-			return st
+			return st, nil
 		}
 	}
-	return st
+	return st, nil
 }

@@ -40,6 +40,7 @@ import (
 	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/dataflow"
+	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/pass"
 )
@@ -71,6 +72,21 @@ type Options struct {
 	// called from worker goroutines, possibly concurrently; the callee
 	// must synchronize.
 	Hook func(graph string, ev pass.Event)
+	// Recovery selects the per-pass failure handling inside every job's
+	// pipeline: Fail (default — a failing pass fails the whole graph,
+	// reported as a typed fault error), Rollback (restore the last-good
+	// checkpoint, stop, return the partially optimized graph as a
+	// degraded result), or SkipAndContinue (restore, skip the offending
+	// pass, run the remainder). Degraded results are never cached.
+	Recovery pass.RecoveryPolicy
+	// Budget caps each job's per-pass resources (wall time, solver
+	// visits, AM fixpoint rounds); violations surface as
+	// fault.ErrBudgetExceeded and are subject to Recovery.
+	Budget fault.Budget
+	// Inject, when non-nil, may replace each pipeline pass immediately
+	// before execution (pass.Pipeline.Wrap). It is a test-only seam for
+	// the fault-injection harness; production callers leave it nil.
+	Inject func(index int, p pass.Pass) pass.Pass
 }
 
 func (o Options) parallelism() int {
@@ -85,13 +101,28 @@ func (o Options) parallelism() int {
 // comma-joined pass list.
 func (o Options) pipelineSpec() string { return strings.Join(o.Passes, ",") }
 
-// PanicError is the recovered panic of one optimization job.
-type PanicError struct {
-	Value any
-	Stack []byte
-}
+// PanicError is the recovered panic of one optimization job. It is the
+// fault taxonomy's panic error: errors.Is(err, fault.ErrPassPanic)
+// matches it.
+type PanicError = fault.PanicError
 
-func (e *PanicError) Error() string { return fmt.Sprintf("optimization panicked: %v", e.Value) }
+// Outcome classifies what happened to one graph in a batch.
+type Outcome string
+
+const (
+	// OutcomeOptimized: the full pipeline ran to completion (or the
+	// result was served from the cache, which only ever holds completed
+	// runs).
+	OutcomeOptimized Outcome = "optimized"
+	// OutcomeDegraded: at least one pass failed and the recovery policy
+	// absorbed it (rolled back or skipped); the returned graph is valid
+	// and semantics preserving but not the pipeline's full fixpoint.
+	// Degraded results are never cached.
+	OutcomeDegraded Outcome = "degraded"
+	// OutcomeFailed: the job produced no graph; Err carries the typed
+	// failure.
+	OutcomeFailed Outcome = "failed"
+)
 
 // PhaseTimings records wall time spent per phase of the global algorithm.
 // The Init/AM/Flush split is populated from the pipeline events of the
@@ -140,9 +171,17 @@ type GraphResult struct {
 	// order. On a cache hit they are the events of the computation that
 	// populated the cache.
 	Passes []pass.Event
-	// Err is non-nil when the job failed: a *PanicError for recovered
-	// panics, context.DeadlineExceeded / context.Canceled for deadline
-	// and cancellation, or a validation error for nil inputs and unknown
+	// Outcome classifies the result: optimized (full pipeline), degraded
+	// (recovery policy rolled back or skipped a failing pass), or failed.
+	Outcome Outcome
+	// Failures holds the typed per-pass failures the recovery policy
+	// absorbed when Outcome is degraded (each a *fault.PassError naming
+	// the offending pass).
+	Failures []error
+	// Err is non-nil when the job failed: a typed internal/fault error
+	// (*fault.PassError wrapping panic/fixpoint/budget failures),
+	// context.DeadlineExceeded / context.Canceled for deadline and
+	// cancellation, or a validation error for nil inputs and unknown
 	// pass names.
 	Err error
 	// CacheHit reports that the result was served from the cache.
@@ -177,9 +216,12 @@ type PassAggregate struct {
 
 // Report aggregates one batch.
 type Report struct {
-	Graphs      int           `json:"graphs"`
-	Succeeded   int           `json:"succeeded"`
-	Failed      int           `json:"failed"`
+	Graphs    int `json:"graphs"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	// Degraded counts the succeeded jobs whose recovery policy absorbed
+	// at least one pass failure (a subset of Succeeded).
+	Degraded    int           `json:"degraded"`
 	CacheHits   int           `json:"cacheHits"`
 	CacheMisses int           `json:"cacheMisses"`
 	Parallelism int           `json:"parallelism"`
@@ -257,7 +299,7 @@ feed:
 		case jobs <- i:
 		case <-ctx.Done():
 			for j := i; j < len(graphs); j++ {
-				results[j] = GraphResult{Index: j, Err: ctx.Err()}
+				results[j] = GraphResult{Index: j, Outcome: OutcomeFailed, Err: ctx.Err()}
 				if graphs[j] != nil {
 					results[j].Name = graphs[j].Name
 				}
@@ -277,6 +319,9 @@ feed:
 			continue
 		}
 		rep.Succeeded++
+		if r.Outcome == OutcomeDegraded {
+			rep.Degraded++
+		}
 		if r.CacheHit {
 			rep.CacheHits++
 		} else {
@@ -342,7 +387,7 @@ func OptimizeBatch(ctx context.Context, graphs []*ir.Graph, opts Options) Report
 // optimizeJob runs one graph with full isolation: fingerprinting, cache
 // lookup, single-flight coordination, and the protected computation.
 func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r GraphResult) {
-	r = GraphResult{Index: idx}
+	r = GraphResult{Index: idx, Outcome: OutcomeFailed}
 	if g == nil {
 		r.Err = errors.New("engine: nil graph")
 		return r
@@ -356,8 +401,9 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 		// Fingerprinting malformed graphs may itself panic; everything
 		// heavier is already recovered in the compute goroutine.
 		if rec := recover(); rec != nil {
-			r.Err = &PanicError{Value: rec, Stack: debug.Stack()}
+			r.Err = &fault.PanicError{Value: rec, Stack: debug.Stack()}
 			r.Graph = nil
+			r.Outcome = OutcomeFailed
 		}
 	}()
 	start := time.Now()
@@ -366,6 +412,8 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 	if e.cache == nil {
 		c := e.compute(ctx, g)
 		r.Graph, r.Result, r.Passes, r.Timings, r.Err = c.g, c.res, c.events, c.tm, c.err
+		r.Failures = c.failures
+		r.Outcome = c.outcome()
 		return r
 	}
 
@@ -375,6 +423,7 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 		out := hit.graph
 		out.Name = g.Name // fingerprints ignore names; keep the caller's
 		r.Graph, r.Result, r.Passes, r.CacheHit = out, hit.result, hit.events, true
+		r.Outcome = OutcomeOptimized
 		return r
 	}
 	leader, fl := e.cache.claim(key)
@@ -386,6 +435,7 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 				out := fl.graph.Clone()
 				out.Name = g.Name
 				r.Graph, r.Result, r.Passes, r.CacheHit = out, fl.result, fl.events, true
+				r.Outcome = OutcomeOptimized
 				return r
 			}
 			// The leader failed; fall through and compute for ourselves
@@ -400,29 +450,49 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 	c := e.compute(ctx, g)
 	r.Result, r.Passes, r.Timings = c.res, c.events, c.tm
 	if leader {
-		if c.err != nil {
+		if c.err != nil || len(c.failures) > 0 {
+			// Never store a degraded (rolled-back / pass-skipped) result
+			// under the clean content-addressed key: a later identical
+			// graph must get the full optimization, not the leftovers of
+			// this job's recovery.
 			e.cache.abandon(key, fl)
 		} else {
 			e.cache.complete(key, fl, c.g.Clone(), c.res, c.events)
 		}
 	}
 	r.Graph, r.Err = c.g, c.err
+	r.Failures = c.failures
+	r.Outcome = c.outcome()
 	return r
 }
 
 // computation is what the worker goroutine sends back.
 type computation struct {
-	g      *ir.Graph
-	res    core.Result
-	events []pass.Event
-	tm     PhaseTimings
-	err    error
+	g        *ir.Graph
+	res      core.Result
+	events   []pass.Event
+	tm       PhaseTimings
+	failures []error // per-pass failures absorbed by the recovery policy
+	err      error
+}
+
+func (c *computation) outcome() Outcome {
+	switch {
+	case c.err != nil:
+		return OutcomeFailed
+	case len(c.failures) > 0:
+		return OutcomeDegraded
+	}
+	return OutcomeOptimized
 }
 
 // compute runs the engine's pipeline on a private clone of g with ONE
 // analysis session threaded through every pass, in a child goroutine so
-// the deadline can abandon it. A truly stuck pass is abandoned at the
-// deadline and its goroutine drains in the background (all passes
+// the deadline can abandon it. The context is also threaded INTO the
+// pipeline (and, through the session, into the fixpoint rounds), so a
+// deadline usually stops the computation cooperatively with a typed
+// fault.ErrCanceled; the select below is the backstop for a truly stuck
+// pass, whose abandoned goroutine drains in the background (all passes
 // terminate — the fixpoints are monotone or capped — so abandoned work is
 // garbage-collected, not leaked forever).
 func (e *Engine) compute(ctx context.Context, g *ir.Graph) computation {
@@ -454,19 +524,29 @@ func (e *Engine) compute(ctx context.Context, g *ir.Graph) computation {
 			}
 		}
 
+		// One pipeline shape for both the default global algorithm and a
+		// custom pass list, so the recovery policy, the budget, and the
+		// cancellation context apply uniformly at every pass boundary.
+		var pl *pass.Pipeline
 		if len(e.opts.Passes) == 0 {
-			c.res = core.OptimizeWith(clone, s, hook)
+			pl = pass.New(core.Phases(&c.res)...)
 		} else {
-			pl, err := pass.FromNames(e.opts.Passes...)
+			var err error
+			pl, err = pass.FromNames(e.opts.Passes...)
 			if err != nil {
 				ch <- computation{err: fmt.Errorf("engine: %w", err)}
 				return
 			}
-			pl.Hook = hook
-			if _, err := pl.RunWith(clone, s); err != nil {
-				ch <- computation{err: err}
-				return
-			}
+		}
+		pl.Hook = hook
+		pl.Recovery = e.opts.Recovery
+		pl.Budget = e.opts.Budget
+		pl.Wrap = e.opts.Inject
+		rep, err := pl.RunWith(ctx, clone, s)
+		c.failures = rep.Failures
+		if err != nil {
+			ch <- computation{events: c.events, tm: c.tm, err: err}
+			return
 		}
 
 		c.g = clone

@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFaultSentinelMatching: every concrete error matches its own sentinel
+// and no other, both bare and through a PassError wrapper.
+func TestFaultSentinelMatching(t *testing.T) {
+	sentinels := []error{ErrNoFixpoint, ErrInvalidGraph, ErrPassPanic, ErrBudgetExceeded, ErrCanceled}
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{&NoFixpointError{Proc: "am", Iterations: 500, Limit: 464}, ErrNoFixpoint},
+		{&PanicError{Value: "boom"}, ErrPassPanic},
+		{&InvalidGraphError{Err: errors.New("entry has predecessors")}, ErrInvalidGraph},
+		{&BudgetError{Resource: "am iterations", Used: 9, Limit: 4}, ErrBudgetExceeded},
+		{&CanceledError{Err: context.Canceled}, ErrCanceled},
+	}
+	for _, c := range cases {
+		for _, s := range sentinels {
+			got := errors.Is(c.err, s)
+			if got != (s == c.want) {
+				t.Errorf("errors.Is(%v, %v) = %v, want %v", c.err, s, got, s == c.want)
+			}
+			wrapped := In("am", 1, c.err)
+			if got := errors.Is(wrapped, s); got != (s == c.want) {
+				t.Errorf("wrapped errors.Is(%v, %v) = %v, want %v", wrapped, s, got, s == c.want)
+			}
+		}
+	}
+}
+
+// TestPassErrorPosition: In decorates once and PassOf reads it back;
+// re-wrapping keeps the innermost position.
+func TestPassErrorPosition(t *testing.T) {
+	err := In("am", 2, &NoFixpointError{Proc: "am", Iterations: 10, Limit: 5})
+	name, idx, ok := PassOf(err)
+	if !ok || name != "am" || idx != 2 {
+		t.Fatalf("PassOf = %q,%d,%v; want am,2,true", name, idx, ok)
+	}
+	outer := In("globalg", 0, err)
+	if outer != err {
+		t.Fatalf("In re-wrapped an already positioned error: %v", outer)
+	}
+	if _, _, ok := PassOf(errors.New("plain")); ok {
+		t.Fatal("PassOf matched a plain error")
+	}
+}
+
+// TestCanceledUnwrapsContext: the context sentinels stay matchable so
+// existing callers that check context.Canceled keep working.
+func TestCanceledUnwrapsContext(t *testing.T) {
+	err := In("flush", 2, &CanceledError{Err: context.DeadlineExceeded})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("CanceledError lost context.DeadlineExceeded")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatal("CanceledError does not match ErrCanceled")
+	}
+}
+
+func TestBudgetZero(t *testing.T) {
+	if !(Budget{}).Zero() {
+		t.Fatal("zero Budget not Zero()")
+	}
+	if (Budget{MaxPassWall: time.Second}).Zero() ||
+		(Budget{MaxSolverVisits: 1}).Zero() ||
+		(Budget{MaxAMIterations: 1}).Zero() {
+		t.Fatal("non-zero Budget reported Zero()")
+	}
+}
+
+// TestErrorStrings: messages carry the actionable numbers.
+func TestErrorStrings(t *testing.T) {
+	e := &BudgetError{Resource: "pass wall time", Used: int64(2 * time.Second), Limit: int64(time.Second)}
+	if want := "budget exceeded: pass wall time 2s > 1s"; e.Error() != want {
+		t.Errorf("BudgetError = %q, want %q", e.Error(), want)
+	}
+	n := &NoFixpointError{Proc: "am", Iterations: 65, Limit: 64}
+	if got := n.Error(); got != "am: no fixpoint after 65 iterations (limit 64; termination bug)" {
+		t.Errorf("NoFixpointError = %q", got)
+	}
+	p := In("am", 1, &PanicError{Value: fmt.Errorf("oops")})
+	if want := `pass "am" (pipeline step 1): optimization panicked: oops`; p.Error() != want {
+		t.Errorf("PassError = %q, want %q", p.Error(), want)
+	}
+}

@@ -43,12 +43,12 @@ func init() {
 		Name:        "flush",
 		Description: "final flush: sink temporary initializations to latest points, drop unusable ones, reconstruct single uses",
 		Ref:         "§4.4, Table 3, Lemma 4.4",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			st := RunWith(g, s)
 			return pass.Stats{
 				Changes:    st.DroppedInits + st.InsertedInits + st.Reconstructed,
 				Iterations: 1,
-			}
+			}, nil
 		},
 	})
 }

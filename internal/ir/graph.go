@@ -41,7 +41,7 @@ type Graph struct {
 	Exit   NodeID
 
 	tempByExpr map[Term]Var // expression pattern -> temporary
-	exprByTemp map[Var]Term   // temporary -> expression pattern
+	exprByTemp map[Var]Term // temporary -> expression pattern
 	nextTemp   int
 	nextSynth  int
 
@@ -307,6 +307,32 @@ func (g *Graph) Clone() *Graph {
 		c.tempByExpr[e] = h
 	}
 	return c
+}
+
+// Restore overwrites g in place with the contents of snapshot, adopting
+// the snapshot's storage: the snapshot must not be used or mutated by the
+// caller afterwards. It is the rollback half of the pipeline's
+// checkpoint/rollback discipline — the caller holds *g, so recovery must
+// happen in place rather than by returning a different graph.
+//
+// The version counters are advanced past BOTH histories (the snapshot's
+// and whatever the failed pass did to g) and then bumped once more, so
+// any analysis.Session cache keyed on a version either graph ever had is
+// invalidated.
+func (g *Graph) Restore(snapshot *Graph) {
+	if snapshot.version > g.version {
+		g.version = snapshot.version
+	}
+	if snapshot.structVersion > g.structVersion {
+		g.structVersion = snapshot.structVersion
+	}
+	g.version++
+	g.structVersion++
+	g.Name = snapshot.Name
+	g.Blocks = snapshot.Blocks
+	g.Entry, g.Exit = snapshot.Entry, snapshot.Exit
+	g.tempByExpr, g.exprByTemp = snapshot.tempByExpr, snapshot.exprByTemp
+	g.nextTemp, g.nextSynth = snapshot.nextTemp, snapshot.nextSynth
 }
 
 // InstrCount returns the total number of instructions in the program.

@@ -39,9 +39,9 @@ func init() {
 		Name:        "em",
 		Description: "expression-motion baseline: lazy code motion over initialization patterns (original assignments never move)",
 		Ref:         "§1.2, Figure 6(a); Knoop/Rüthing/Steffen PLDI'92",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			st := RunWith(g, s)
-			return pass.Stats{Changes: st.Decomposed + st.Eliminated, Iterations: st.Iterations}
+			return pass.Stats{Changes: st.Decomposed + st.Eliminated, Iterations: st.Iterations}, nil
 		},
 	})
 }

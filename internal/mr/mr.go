@@ -57,9 +57,9 @@ func init() {
 		Name:        "mr",
 		Description: "Morel/Renvoise partial redundancy elimination: bidirectional PP system, block-boundary placement only",
 		Ref:         "Morel/Renvoise CACM'79 [19]; §1.2 baseline",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			st := RunWith(g, s)
-			return pass.Stats{Changes: st.Inserted + st.Reloaded + st.Saved, Iterations: 1}
+			return pass.Stats{Changes: st.Inserted + st.Reloaded + st.Saved, Iterations: 1}, nil
 		},
 	})
 }

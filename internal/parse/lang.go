@@ -35,11 +35,12 @@ func ParseProgram(src string) (*ir.Graph, error) {
 	return p.parseProgram()
 }
 
-// MustParseProgram is ParseProgram that panics on error.
+// MustParseProgram is ParseProgram that panics on error, with the source
+// position and offending line in the message.
 func MustParseProgram(src string) *ir.Graph {
 	g, err := ParseProgram(src)
 	if err != nil {
-		panic(err)
+		panic(mustMessage("parse.MustParseProgram", src, err))
 	}
 	return g
 }

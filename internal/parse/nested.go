@@ -30,11 +30,12 @@ func ParseNested(src string) (*ir.Graph, error) {
 	return p.parseGraph()
 }
 
-// MustParseNested is ParseNested that panics on error.
+// MustParseNested is ParseNested that panics on error, with the source
+// position and offending line in the message.
 func MustParseNested(src string) *ir.Graph {
 	g, err := ParseNested(src)
 	if err != nil {
-		panic(err)
+		panic(mustMessage("parse.MustParseNested", src, err))
 	}
 	return g
 }

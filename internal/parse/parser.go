@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"assignmentmotion/internal/ir"
 )
@@ -51,11 +52,13 @@ func ParseFile(path string) (*ir.Graph, error) {
 	return g, nil
 }
 
-// MustParse parses src and panics on error; for tests and examples.
+// MustParse parses src and panics on error; for tests and examples. The
+// panic message carries the source position and the offending line, not
+// just the bare error.
 func MustParse(src string) *ir.Graph {
 	g, err := Parse(src)
 	if err != nil {
-		panic(err)
+		panic(mustMessage("parse.MustParse", src, err))
 	}
 	return g
 }
@@ -64,9 +67,45 @@ func MustParse(src string) *ir.Graph {
 func MustParseTemps(src string) *ir.Graph {
 	g, err := ParseWith(src, Options{AllowTemps: true})
 	if err != nil {
-		panic(err)
+		panic(mustMessage("parse.MustParseTemps", src, err))
 	}
 	return g
+}
+
+// mustMessage builds the panic message of the Must* entry points: the
+// failing function, the "line:col: detail" error, and — when the error's
+// leading line number resolves inside src — the offending source line with
+// a caret under the error column.
+func mustMessage(fn, src string, err error) string {
+	msg := fmt.Sprintf("%s: %v", fn, err)
+	line, col, ok := errorPosition(err)
+	if !ok {
+		return msg
+	}
+	lines := strings.Split(src, "\n")
+	if line < 1 || line > len(lines) {
+		return msg
+	}
+	text := lines[line-1]
+	caret := len(text)
+	if col >= 1 && col <= len(text)+1 {
+		caret = col - 1
+	}
+	return fmt.Sprintf("%s\n\t%s\n\t%s^", msg, text, strings.Repeat(" ", caret))
+}
+
+// errorPosition extracts the leading "line:col:" of a parse error.
+func errorPosition(err error) (line, col int, ok bool) {
+	parts := strings.SplitN(err.Error(), ":", 3)
+	if len(parts) < 3 {
+		return 0, 0, false
+	}
+	line, lerr := strconv.Atoi(strings.TrimSpace(parts[0]))
+	col, cerr := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if lerr != nil || cerr != nil {
+		return 0, 0, false
+	}
+	return line, col, true
 }
 
 type parser struct {

@@ -291,3 +291,37 @@ func TestErrorsCarryPositions(t *testing.T) {
 		t.Errorf("err = %v, want line 4 position", err)
 	}
 }
+
+func TestMustParsePanicMessage(t *testing.T) {
+	src := "graph g {\n  entry b0\n  exit b0\n  block b0 {\n    x : 1\n    out(x)\n  }\n}\n"
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("MustParse did not panic on a syntax error")
+		}
+		msg, ok := rec.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", rec)
+		}
+		if !strings.Contains(msg, "parse.MustParse") {
+			t.Errorf("panic message does not name the entry point: %q", msg)
+		}
+		if !strings.Contains(msg, "5:") {
+			t.Errorf("panic message does not carry the source line: %q", msg)
+		}
+		if !strings.Contains(msg, "x : 1") {
+			t.Errorf("panic message does not quote the offending line: %q", msg)
+		}
+		if !strings.Contains(msg, "^") {
+			t.Errorf("panic message has no caret: %q", msg)
+		}
+	}()
+	MustParse(src)
+}
+
+func TestMustMessageWithoutPosition(t *testing.T) {
+	msg := mustMessage("parse.MustParse", "src", os.ErrNotExist)
+	if !strings.Contains(msg, "parse.MustParse") || strings.Contains(msg, "^") {
+		t.Errorf("positionless error must format without a caret: %q", msg)
+	}
+}

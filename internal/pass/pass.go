@@ -60,7 +60,15 @@ type Pass struct {
 	// RunWith applies the pass to g in place under session s and reports
 	// the uniform stats. Implementations must accept a nil session (every
 	// analysis entry point is nil-safe); a Pipeline always supplies one.
-	RunWith func(g *ir.Graph, s *analysis.Session) Stats
+	//
+	// A non-nil error must be one of the internal/fault taxonomy errors
+	// (fixpoint overrun, exhausted budget, cancellation, ...); the
+	// pipeline decorates it with the pass's name and index and applies
+	// its recovery policy. A pass that returns an error may leave g in
+	// the state of its last completed sub-step, but never structurally
+	// invalid — full rollback to the pre-pass checkpoint is the
+	// pipeline's job, not the pass's.
+	RunWith func(g *ir.Graph, s *analysis.Session) (Stats, error)
 }
 
 // Info is the descriptive projection of a registered pass, used by
@@ -210,16 +218,16 @@ func init() {
 		Name:        "split",
 		Description: "split critical edges by inserting synthetic blocks (done implicitly by all motion passes)",
 		Ref:         "§3 (edge splitting); Figure 10",
-		RunWith: func(g *ir.Graph, s *analysis.Session) Stats {
-			return Stats{Changes: g.SplitCriticalEdges(), Iterations: 1}
+		RunWith: func(g *ir.Graph, s *analysis.Session) (Stats, error) {
+			return Stats{Changes: g.SplitCriticalEdges(), Iterations: 1}, nil
 		},
 	})
 	Register(Pass{
 		Name:        "tidy",
 		Description: "bypass empty synthetic blocks and merge straight-line chains for presentation (run last)",
 		Ref:         "presentation only; inverse of edge splitting",
-		RunWith: func(g *ir.Graph, s *analysis.Session) Stats {
-			return Stats{Changes: g.Tidy(), Iterations: 1}
+		RunWith: func(g *ir.Graph, s *analysis.Session) (Stats, error) {
+			return Stats{Changes: g.Tidy(), Iterations: 1}, nil
 		},
 	})
 }

@@ -44,9 +44,9 @@ func init() {
 		Name:        "pde",
 		Description: "partial dead code elimination: sink assignments to latest points, then strong-liveness dce, to a fixpoint",
 		Ref:         "§4.3.2 (dual of hoisting); Knoop/Rüthing/Steffen [17]",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
 			st := RunWith(g, s)
-			return pass.Stats{Changes: st.Removed, Iterations: st.Iterations}
+			return pass.Stats{Changes: st.Removed, Iterations: st.Iterations}, nil
 		},
 	})
 }

@@ -94,8 +94,8 @@ func init() {
 		Name:        "rae",
 		Description: "one redundant-assignment-elimination step: remove every totally redundant occurrence",
 		Ref:         "§4.3, Table 2, Figure 14",
-		RunWith: func(g *ir.Graph, s *analysis.Session) pass.Stats {
-			return pass.Stats{Changes: EliminateBlocksWith(g, s), Iterations: 1}
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+			return pass.Stats{Changes: EliminateBlocksWith(g, s), Iterations: 1}, nil
 		},
 	})
 }
