@@ -274,12 +274,20 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 		}
 	}
 
-	if rep.Failed > 0 {
-		return exitf(exitOptimizeFailed, "%d of %d graphs failed", rep.Failed, rep.Graphs)
+	return batchExitError(rep.Failed, rep.Degraded, rep.Graphs, cfg.recovery)
+}
+
+// batchExitError maps a batch's worst outcome to the process exit code.
+// Failure (exit 3) takes precedence over degradation (exit 4): a batch
+// with both failed and degraded graphs exits 3, because degraded results
+// are still valid programs while failed ones produced nothing.
+func batchExitError(failed, degraded, graphs int, recovery assignmentmotion.RecoveryPolicy) error {
+	if failed > 0 {
+		return exitf(exitOptimizeFailed, "%d of %d graphs failed", failed, graphs)
 	}
-	if rep.Degraded > 0 {
+	if degraded > 0 {
 		return exitf(exitDegraded, "%d of %d graphs degraded under -on-error=%s",
-			rep.Degraded, rep.Graphs, cfg.recovery)
+			degraded, graphs, recovery)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"errors"
+
+	"assignmentmotion"
 	"os"
 	"path/filepath"
 	"strings"
@@ -186,5 +188,34 @@ func TestExitCodes(t *testing.T) {
 	_, err = runCLI(t, a, bad)
 	if code := exitCodeOf(err); code != exitParse {
 		t.Errorf("parse error (batch): exit %d (%v), want %d", code, err, exitParse)
+	}
+}
+
+// TestExitCodePrecedence pins the exit-code contract for mixed batches:
+// failure (exit 3) beats degradation (exit 4). A batch holding both
+// failed and degraded graphs must exit 3 — degraded results are still
+// valid programs, failed ones produced nothing, and the exit code
+// reports the worst outcome.
+func TestExitCodePrecedence(t *testing.T) {
+	pol := assignmentmotion.RecoverSkip
+	cases := []struct {
+		name             string
+		failed, degraded int
+		want             int
+	}{
+		{"clean", 0, 0, exitOK},
+		{"degraded-only", 0, 2, exitDegraded},
+		{"failed-only", 2, 0, exitOptimizeFailed},
+		{"failed-beats-degraded", 1, 3, exitOptimizeFailed},
+		{"all-failed-plus-degraded", 5, 5, exitOptimizeFailed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := batchExitError(tc.failed, tc.degraded, 10, pol)
+			if code := exitCodeOf(err); code != tc.want {
+				t.Errorf("batchExitError(failed=%d, degraded=%d) -> exit %d; want %d",
+					tc.failed, tc.degraded, code, tc.want)
+			}
+		})
 	}
 }

@@ -47,6 +47,8 @@
 // Exit codes: 0 success; 1 usage (bad flags, unknown pass, unreadable
 // input); 2 parse error; 3 optimization failed; 4 degraded (every result
 // is valid, but -on-error recovery absorbed at least one pass failure).
+// Failure beats degradation: a batch with both failed and degraded
+// graphs exits 3.
 //
 // Examples:
 //

@@ -1,0 +1,154 @@
+// Command amoptd serves the assignment-motion optimizer over HTTP: an
+// optimization-as-a-service daemon with persistent result caching,
+// admission control, and live observability.
+//
+// Usage:
+//
+//	amoptd [flags]
+//
+//	-listen :8080                address to serve on
+//	-cache-dir DIR               persistent result cache (empty = memory
+//	                             only; results then die with the process)
+//	-cache-max-bytes N           on-disk cache cap in bytes
+//	                             (0 = 256 MiB default, -1 = uncapped)
+//	-cache-size N                in-memory cache entries per pipeline
+//	                             configuration (0 = engine default)
+//	-workers N                   concurrent optimization jobs
+//	                             (0 = GOMAXPROCS)
+//	-queue-depth N               jobs allowed to wait for a worker before
+//	                             requests shed with 429 (0 = 4*workers)
+//	-deadline D                  default per-request deadline (e.g. 10s)
+//	-max-deadline D              hard cap on requested deadlines
+//	-max-body N                  request body limit in bytes (0 = 8 MiB)
+//	-max-batch N                 programs per batch request (0 = 1024)
+//	-drain-timeout D             how long SIGTERM waits for in-flight
+//	                             requests before forcing exit
+//
+// Endpoints: POST /v1/optimize, POST /v1/optimize/batch (NDJSON stream),
+// GET /v1/passes, GET /healthz, GET /metrics (Prometheus text format).
+// See internal/server for the request/response schema and DESIGN.md §10
+// for the architecture.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting,
+// /healthz turns 503, in-flight requests finish (up to -drain-timeout),
+// and the persistent cache index is flushed before exit.
+//
+// Exit codes: 0 clean shutdown; 1 usage or startup failure (bad flags,
+// unusable cache directory, listen failure); 2 unclean shutdown (drain
+// timeout expired or the cache flush failed).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"assignmentmotion/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("amoptd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen        = fs.String("listen", ":8080", "address to serve on")
+		cacheDir      = fs.String("cache-dir", "", "persistent result cache directory (empty = memory only)")
+		cacheMaxBytes = fs.Int64("cache-max-bytes", 0, "on-disk cache cap in bytes (0 = default, -1 = uncapped)")
+		cacheSize     = fs.Int("cache-size", 0, "in-memory cache entries per pipeline configuration (0 = default)")
+		workers       = fs.Int("workers", 0, "concurrent optimization jobs (0 = GOMAXPROCS)")
+		queueDepth    = fs.Int("queue-depth", 0, "jobs allowed to wait for a worker (0 = 4*workers)")
+		deadline      = fs.Duration("deadline", 10*time.Second, "default per-request deadline")
+		maxDeadline   = fs.Duration("max-deadline", 60*time.Second, "hard cap on requested deadlines")
+		maxBody       = fs.Int64("max-body", 0, "request body limit in bytes (0 = 8 MiB)")
+		maxBatch      = fs.Int("max-batch", 0, "programs per batch request (0 = 1024)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain window for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "amoptd: unexpected arguments %q\n", fs.Args())
+		return 1
+	}
+
+	logger := log.New(stderr, "amoptd: ", log.LstdFlags)
+
+	srv, err := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheDir:        *cacheDir,
+		CacheMaxBytes:   *cacheMaxBytes,
+		CacheSize:       *cacheSize,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxBodyBytes:    *maxBody,
+		MaxBatch:        *maxBatch,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "amoptd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "amoptd: %v\n", err)
+		srv.Close()
+		return 1
+	}
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          logger,
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	if *cacheDir != "" {
+		logger.Printf("listening on %s (cache %s, %d entries warm)", ln.Addr(), *cacheDir, srv.Store().Len())
+	} else {
+		logger.Printf("listening on %s (memory-only cache)", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	code := 0
+	select {
+	case err := <-serveErr:
+		// The listener died underneath us — not a drain, a failure.
+		logger.Printf("serve: %v", err)
+		code = 2
+	case s := <-sig:
+		logger.Printf("received %v, draining (up to %v)", s, *drainTimeout)
+		srv.Drain() // healthz -> 503, new work -> 503; in-flight continues
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := hs.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			logger.Printf("drain window expired: %v", err)
+			hs.Close()
+			code = 2
+		}
+	}
+
+	if err := srv.Close(); err != nil { // flush the persistent cache index
+		logger.Printf("cache flush: %v", err)
+		code = 2
+	}
+	if code == 0 {
+		logger.Printf("clean shutdown")
+	}
+	return code
+}

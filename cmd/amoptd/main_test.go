@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"assignmentmotion/internal/corpus"
+)
+
+// freeAddr reserves a loopback port and releases it for the daemon to
+// claim. The gap is a benign race: worst case the test fails loudly.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+// TestDaemonLifecycle boots the real daemon, serves real traffic, drains
+// it with SIGTERM, and checks the cache index survived the shutdown.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-listen", addr, "-cache-dir", dir, "-drain-timeout", "5s"}, os.Stdout, os.Stderr)
+	}()
+	waitHealthy(t, base)
+
+	body, _ := json.Marshal(map[string]string{"program": corpus.Source("dotprod")})
+	resp, err := http.Post(base+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var or struct {
+		Outcome string `json:"outcome"`
+		Program string `json:"program"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || or.Outcome != "optimized" || or.Program == "" {
+		t.Fatalf("optimize: status=%d outcome=%q", resp.StatusCode, or.Outcome)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mbody), "amoptd_requests_total") {
+		t.Error("metrics endpoint missing request counters")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d; want 0 (clean drain)", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+
+	// The drain flushed the persistent store: payload + index on disk.
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		t.Errorf("cache index not flushed: %v", err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.cache.json"))
+	if err != nil || len(entries) == 0 {
+		t.Errorf("no cache entries persisted (err=%v)", err)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}, os.Stdout, os.Stderr); code != 1 {
+		t.Errorf("bad flag exit = %d; want 1", code)
+	}
+	if code := run([]string{"positional"}, os.Stdout, os.Stderr); code != 1 {
+		t.Errorf("positional arg exit = %d; want 1", code)
+	}
+}
+
+func TestDaemonListenFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if code := run([]string{"-listen", ln.Addr().String()}, os.Stdout, os.Stderr); code != 1 {
+		t.Errorf("occupied port exit = %d; want 1", code)
+	}
+}
+
+func TestDaemonUnusableCacheDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-cache-dir", filepath.Join(file, "sub")}, os.Stdout, os.Stderr); code != 1 {
+		t.Errorf("unusable cache dir exit = %d; want 1", code)
+	}
+}

@@ -1,0 +1,393 @@
+package cachestore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	payload := []byte("optimized program text")
+	if err := s.Put("key-1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("key-1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 put, 1 entry", st)
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("new and longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "new and longer" {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d after overwrite; want 1", n)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("warm", []byte("cached result")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("warm")
+	if !ok || string(got) != "cached result" {
+		t.Fatalf("reopened Get = %q, %v; want the persisted payload", got, ok)
+	}
+}
+
+// entryFiles lists the stored entry files of dir.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), entryExt) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestCorruptEntryIsDiscarded(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(path string) error
+	}{
+		{"truncated", func(p string) error { return os.WriteFile(p, []byte(`{"key":"k","su`), 0o644) }},
+		{"not-json", func(p string) error { return os.WriteFile(p, []byte("garbage bytes"), 0o644) }},
+		{"bad-sum", func(p string) error {
+			return os.WriteFile(p, []byte(`{"key":"k","sum":"00","data":"aGk="}`), 0o644)
+		}},
+		{"wrong-key", func(p string) error {
+			// A well-formed envelope for a DIFFERENT key at this path: the
+			// read must reject it rather than serve another key's payload.
+			other, err := Open(filepath.Dir(p)+"-other", 0)
+			if err != nil {
+				return err
+			}
+			if err := other.Put("other-key", []byte("other payload")); err != nil {
+				return err
+			}
+			files := entryFilesErr(filepath.Dir(p) + "-other")
+			if len(files) != 1 {
+				return fmt.Errorf("expected 1 entry, got %d", len(files))
+			}
+			data, err := os.ReadFile(filepath.Join(filepath.Dir(p)+"-other", files[0]))
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data, 0o644)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("k", []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			files := entryFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("want 1 entry file, got %v", files)
+			}
+			if err := tc.corrupt(filepath.Join(dir, files[0])); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k"); ok {
+				t.Fatalf("Get on corrupt entry = %q, true; want a miss", got)
+			}
+			if left := entryFiles(t, dir); len(left) != 0 {
+				t.Fatalf("corrupt entry not deleted: %v", left)
+			}
+			if st := s.Stats(); st.Corruptions != 1 {
+				t.Fatalf("Corruptions = %d; want 1", st.Corruptions)
+			}
+			// The key is recomputable: a fresh Put must work again.
+			if err := s.Put("k", []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get("k"); !ok {
+				t.Fatal("re-Put after corruption did not restore the entry")
+			}
+		})
+	}
+}
+
+func entryFilesErr(dir string) []string {
+	entries, _ := os.ReadDir(dir)
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), entryExt) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestLRUEvictionBySize(t *testing.T) {
+	dir := t.TempDir()
+	// Envelope overhead (key + sum + json) is ~200 bytes; each 1 KiB
+	// payload lands well under 2 KiB on disk. Cap at ~4 entries' worth.
+	payload := bytes.Repeat([]byte("x"), 1024)
+	s, err := Open(dir, 6*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after exceeding the byte cap: %+v", st)
+	}
+	if st.Bytes > 6*1024 {
+		t.Fatalf("store over cap after eviction: %d bytes", st.Bytes)
+	}
+	// The most recent key survives, the oldest is gone.
+	if _, ok := s.Get("key-7"); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+}
+
+func TestLRUOrderRespectsGets(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 1024)
+	s, err := Open(t.TempDir(), 5*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key-0 so key-1 becomes the eviction victim.
+	if _, ok := s.Get("key-0"); !ok {
+		t.Fatal("key-0 missing before eviction")
+	}
+	if err := s.Put("key-3", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("key-0"); !ok {
+		t.Fatal("recently read key-0 was evicted")
+	}
+	if _, ok := s.Get("key-1"); ok {
+		t.Fatal("least recently used key-1 survived")
+	}
+}
+
+func TestEvictionOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("z"), 1024)
+	s, err := Open(dir, -1) // uncapped while populating
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get("key-0"); !ok { // key-0 most recent
+		t.Fatal("key-0 missing")
+	}
+	if err := s.Close(); err != nil { // flushes the access order
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 4*1024) // reopen capped: room for ~2 entries + a new one
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put("key-3", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("key-1"); ok {
+		t.Fatal("key-1 (least recently used before restart) survived eviction")
+	}
+	if _, ok := s2.Get("key-0"); !ok {
+		t.Fatal("key-0 (most recently used before restart) was evicted")
+	}
+}
+
+func TestStaleTempFilesRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-12345"), []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-12345")); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived Open")
+	}
+}
+
+func TestOversizedPayloadIsSkippedNotStored(t *testing.T) {
+	s, err := Open(t.TempDir(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("huge", bytes.Repeat([]byte("h"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("huge"); ok {
+		t.Fatal("payload larger than the whole cap was stored")
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("Len = %d; want 0", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", i%10)
+				if i%3 == 0 {
+					if err := s.Put(key, []byte(key+" payload")); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if got, ok := s.Get(key); ok && string(got) != key+" payload" {
+					t.Errorf("Get(%s) returned another key's payload: %q", key, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestFlushIsAtomicAndReloadable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the index: Open must still succeed (mtime fallback).
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Len(); n != 5 {
+		t.Fatalf("Len after reopen with corrupt index = %d; want 5", n)
+	}
+}
+
+func TestMtimeFallbackOrdersEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("m"), 1024)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Flush: force distinct mtimes oldest-first, remove any index.
+	os.Remove(filepath.Join(dir, indexFile))
+	base := time.Now().Add(-time.Hour)
+	for i, f := range entryFilesSorted(t, dir, s) {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, f), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, 2*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries after capped reopen = %d; want 1 (two oldest evicted)", st.Entries)
+	}
+	if _, ok := s2.Get("key-2"); !ok {
+		t.Fatal("newest entry (by mtime) was evicted; LRU fallback ignored mtimes")
+	}
+}
+
+// entryFilesSorted returns the entry files in Put order (key-0, key-1, ...).
+func entryFilesSorted(t *testing.T, dir string, s *Store) []string {
+	t.Helper()
+	out := make([]string, 0, 3)
+	for i := 0; ; i++ {
+		f := fileFor(fmt.Sprintf("key-%d", i))
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package engine
+
+// The persistent cache tier. The in-memory fingerprint cache fronts an
+// optional Backend: on a memory miss the single-flight leader consults
+// the backend before computing, and a successfully computed, non-degraded
+// result is written through. The backend outlives the engine (and the
+// process — see internal/cachestore), which is why cacheKey.String()
+// encodes the complete pipeline configuration, not just the fingerprint.
+
+import (
+	"encoding/json"
+
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+	"assignmentmotion/internal/pass"
+	"assignmentmotion/internal/printer"
+)
+
+// Backend is a pluggable second cache tier keyed by the engine's full
+// cache-key string. Implementations must be safe for concurrent use and
+// must return stored bytes verbatim or report a miss — the engine treats
+// any payload it cannot decode as a miss and recomputes, so a backend may
+// be lossy (evicting, crash-recovering) but must never be wrong.
+// internal/cachestore is the on-disk implementation.
+type Backend interface {
+	// Get returns the payload stored under key, or ok=false.
+	Get(key string) (data []byte, ok bool)
+	// Put stores data under key. Errors are the backend's own concern
+	// (the engine ignores them — a failed write costs a recompute later,
+	// nothing else).
+	Put(key string, data []byte) error
+}
+
+// persistVersion guards the persisted entry layout: bump it when the
+// shape changes and old entries silently become misses.
+const persistVersion = 1
+
+// persistedEntry is the JSON shape of one result in the persistent tier.
+// The graph travels as its .fg rendering (round-trippable through Parse),
+// so entries are debuggable with a text editor and survive any change to
+// in-memory graph representation.
+type persistedEntry struct {
+	Version int          `json:"v"`
+	Program string       `json:"program"`
+	Result  core.Result  `json:"result"`
+	Events  []pass.Event `json:"events"`
+}
+
+// encodeEntry renders a completed computation for the persistent tier.
+func encodeEntry(g *ir.Graph, res core.Result, events []pass.Event) ([]byte, error) {
+	return json.Marshal(persistedEntry{
+		Version: persistVersion,
+		Program: printer.String(g),
+		Result:  res,
+		Events:  events,
+	})
+}
+
+// decodeEntry parses a persisted payload back into a graph + statistics.
+// Any defect — wrong version, undecodable JSON, unparseable program —
+// reports ok=false and the caller recomputes.
+func decodeEntry(data []byte) (g *ir.Graph, res core.Result, events []pass.Event, ok bool) {
+	var ent persistedEntry
+	if json.Unmarshal(data, &ent) != nil || ent.Version != persistVersion {
+		return nil, core.Result{}, nil, false
+	}
+	// Optimized programs contain generated h<digits> temporaries, so they
+	// parse with AllowTemps (printer.Fprint guarantees the round trip
+	// reproduces the same Encode value).
+	g, err := parse.ParseWith(ent.Program, parse.Options{AllowTemps: true})
+	if err != nil || g.Validate() != nil {
+		return nil, core.Result{}, nil, false
+	}
+	return g, ent.Result, ent.Events, true
+}
+
+// backendGet consults the persistent tier, decoding defensively.
+func (e *Engine) backendGet(key cacheKey) (g *ir.Graph, res core.Result, events []pass.Event, ok bool) {
+	if e.opts.Backend == nil {
+		return nil, core.Result{}, nil, false
+	}
+	data, ok := e.opts.Backend.Get(key.String())
+	if !ok {
+		return nil, core.Result{}, nil, false
+	}
+	return decodeEntry(data)
+}
+
+// backendPut writes a clean result through to the persistent tier.
+// Encoding or write failures are dropped: the in-memory tier already has
+// the entry, and the worst case is a recompute after a restart.
+func (e *Engine) backendPut(key cacheKey, g *ir.Graph, res core.Result, events []pass.Event) {
+	if e.opts.Backend == nil {
+		return
+	}
+	if data, err := encodeEntry(g, res, events); err == nil {
+		e.opts.Backend.Put(key.String(), data)
+	}
+}

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/pass"
 )
@@ -18,12 +20,28 @@ type CacheStats struct {
 }
 
 // cacheKey addresses one cached outcome: the graph's content fingerprint
-// plus the pipeline spec that produced it. Mixing the spec in keeps one
-// engine (or a future shared cache) from serving an "init,am,flush"
-// result to an "em,copyprop" request for the same graph.
+// plus the complete pipeline configuration that produced it — the pass
+// spec, the recovery policy, and the resource budget. Mixing the whole
+// configuration in keeps a shared cache (two engines over one persistent
+// backend, or a future networked tier) from serving an "init,am,flush"
+// result to an "em,copyprop" request, and from serving a result computed
+// under a permissive budget to a request whose tighter budget would have
+// rejected the computation. (Within one engine the configuration is
+// constant, but the persistent backend outlives engines and daemons.)
 type cacheKey struct {
 	fp       ir.Fingerprint
 	pipeline string
+	recovery pass.RecoveryPolicy
+	budget   fault.Budget
+}
+
+// String is the persistent-backend form of the key: every field that
+// distinguishes two cacheKey values appears in the string, so the on-disk
+// store separates entries exactly as the in-memory map does.
+func (k cacheKey) String() string {
+	return fmt.Sprintf("%s|passes=%s|recovery=%s|budget=%d,%d,%d",
+		k.fp, k.pipeline, k.recovery,
+		int64(k.budget.MaxPassWall), k.budget.MaxSolverVisits, k.budget.MaxAMIterations)
 }
 
 // entry is one cached optimization outcome. The stored graph is private to

@@ -87,6 +87,18 @@ type Options struct {
 	// before execution (pass.Pipeline.Wrap). It is a test-only seam for
 	// the fault-injection harness; production callers leave it nil.
 	Inject func(index int, p pass.Pass) pass.Pass
+	// Backend, when non-nil, is the persistent second cache tier behind
+	// the in-memory cache (see internal/cachestore): consulted on memory
+	// misses, written through on clean computations. Requires the
+	// in-memory cache (CacheSize >= 0); with caching disabled the backend
+	// is ignored. Several engines may share one Backend — the key encodes
+	// the full pipeline configuration, so they never cross-contaminate.
+	Backend Backend
+	// OutcomeHook, when non-nil, receives every job's final GraphResult —
+	// computed, cached, or failed — exactly once, from the worker
+	// goroutine that finished it. The daemon's metrics hang off this; the
+	// callee must synchronize.
+	OutcomeHook func(r GraphResult)
 }
 
 func (o Options) parallelism() int {
@@ -186,6 +198,10 @@ type GraphResult struct {
 	Err error
 	// CacheHit reports that the result was served from the cache.
 	CacheHit bool
+	// CacheTier names the tier that served a hit: "memory" (the engine's
+	// LRU, including single-flight followers) or "disk" (the persistent
+	// Backend). Empty for computed results.
+	CacheTier string
 	// Fingerprint is the input's content address ("" if fingerprinting
 	// itself failed on a malformed graph).
 	Fingerprint string
@@ -387,6 +403,13 @@ func OptimizeBatch(ctx context.Context, graphs []*ir.Graph, opts Options) Report
 // optimizeJob runs one graph with full isolation: fingerprinting, cache
 // lookup, single-flight coordination, and the protected computation.
 func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r GraphResult) {
+	// Registered first so it runs last: the hook observes the final r,
+	// including errors filled in by the panic-recovery defer below.
+	defer func() {
+		if e.opts.OutcomeHook != nil {
+			e.opts.OutcomeHook(r)
+		}
+	}()
 	r = GraphResult{Index: idx, Outcome: OutcomeFailed}
 	if g == nil {
 		r.Err = errors.New("engine: nil graph")
@@ -417,12 +440,17 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 		return r
 	}
 
-	key := cacheKey{fp: g.Fingerprint(), pipeline: e.opts.pipelineSpec()}
+	key := cacheKey{
+		fp:       g.Fingerprint(),
+		pipeline: e.opts.pipelineSpec(),
+		recovery: e.opts.Recovery,
+		budget:   e.opts.Budget,
+	}
 	r.Fingerprint = key.fp.String()
 	if hit, ok := e.cache.lookup(key); ok {
 		out := hit.graph
 		out.Name = g.Name // fingerprints ignore names; keep the caller's
-		r.Graph, r.Result, r.Passes, r.CacheHit = out, hit.result, hit.events, true
+		r.Graph, r.Result, r.Passes, r.CacheHit, r.CacheTier = out, hit.result, hit.events, true, "memory"
 		r.Outcome = OutcomeOptimized
 		return r
 	}
@@ -434,7 +462,7 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 				e.cache.hits.Add(1)
 				out := fl.graph.Clone()
 				out.Name = g.Name
-				r.Graph, r.Result, r.Passes, r.CacheHit = out, fl.result, fl.events, true
+				r.Graph, r.Result, r.Passes, r.CacheHit, r.CacheTier = out, fl.result, fl.events, true, "memory"
 				r.Outcome = OutcomeOptimized
 				return r
 			}
@@ -443,6 +471,20 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 			// — a timeout under load — get their honest retry).
 		case <-ctx.Done():
 			r.Err = ctx.Err()
+			return r
+		}
+	}
+	if leader {
+		// The persistent tier answers memory misses: a daemon restarted
+		// with a warm cache directory serves previously seen programs
+		// without running a single pass. Only the single-flight leader
+		// reads the disk, so a thundering herd on one key costs one read.
+		if pg, pres, pevents, ok := e.backendGet(key); ok {
+			out := pg.Clone()
+			out.Name = g.Name
+			e.cache.complete(key, fl, pg, pres, pevents)
+			r.Graph, r.Result, r.Passes, r.CacheHit, r.CacheTier = out, pres, pevents, true, "disk"
+			r.Outcome = OutcomeOptimized
 			return r
 		}
 	}
@@ -458,6 +500,7 @@ func (e *Engine) optimizeJob(ctx context.Context, idx int, g *ir.Graph) (r Graph
 			e.cache.abandon(key, fl)
 		} else {
 			e.cache.complete(key, fl, c.g.Clone(), c.res, c.events)
+			e.backendPut(key, c.g, c.res, c.events)
 		}
 	}
 	r.Graph, r.Err = c.g, c.err

@@ -1,0 +1,65 @@
+package fault
+
+// HTTP projection of the failure taxonomy, used by the amoptd daemon:
+// every sentinel maps to a status code and a stable machine-readable
+// name, so clients can react per kind without parsing error prose.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// HTTPStatus maps a typed optimization failure to the HTTP status the
+// daemon answers with:
+//
+//   - nil                  → 200 OK
+//   - ErrBudgetExceeded    → 422 Unprocessable Entity (the caller's own
+//     budget rejected the computation; retrying unchanged cannot help)
+//   - ErrCanceled (or a raw context error) → 504 Gateway Timeout (the
+//     request deadline expired before the pipeline finished)
+//   - ErrNoFixpoint, ErrInvalidGraph, ErrPassPanic → 500 Internal Server
+//     Error (the optimizer itself misbehaved)
+//
+// Unknown errors conservatively map to 500. Overload (shed requests) is
+// the server's own 429 and never reaches this mapping — it happens
+// before any pipeline runs.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Name returns the stable machine-readable name of a failure kind:
+// "no-fixpoint", "invalid-graph", "pass-panic", "budget-exceeded",
+// "canceled", or "internal" for errors outside the taxonomy ("" for nil).
+// Daemon responses carry it in the JSON body alongside the prose.
+func Name(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrNoFixpoint):
+		return "no-fixpoint"
+	case errors.Is(err, ErrInvalidGraph):
+		return "invalid-graph"
+	case errors.Is(err, ErrPassPanic):
+		return "pass-panic"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget-exceeded"
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "internal"
+	}
+}

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+)
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		kind   string
+	}{
+		{"nil", nil, http.StatusOK, ""},
+		{"no-fixpoint", &NoFixpointError{Proc: "am", Iterations: 9, Limit: 9},
+			http.StatusInternalServerError, "no-fixpoint"},
+		{"invalid-graph", &InvalidGraphError{Err: errors.New("empty block")},
+			http.StatusInternalServerError, "invalid-graph"},
+		{"pass-panic", &PanicError{Value: "boom"},
+			http.StatusInternalServerError, "pass-panic"},
+		{"budget", &BudgetError{Resource: "am iterations", Used: 10, Limit: 1},
+			http.StatusUnprocessableEntity, "budget-exceeded"},
+		{"canceled", &CanceledError{Err: context.Canceled},
+			http.StatusGatewayTimeout, "canceled"},
+		{"raw-deadline", context.DeadlineExceeded,
+			http.StatusGatewayTimeout, "canceled"},
+		{"raw-cancel", context.Canceled,
+			http.StatusGatewayTimeout, "canceled"},
+		{"unknown", errors.New("mystery"),
+			http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HTTPStatus(tc.err); got != tc.status {
+				t.Errorf("HTTPStatus(%v) = %d; want %d", tc.err, got, tc.status)
+			}
+			if got := Name(tc.err); got != tc.kind {
+				t.Errorf("Name(%v) = %q; want %q", tc.err, got, tc.kind)
+			}
+		})
+	}
+}
+
+// TestHTTPStatusThroughPassError: the mapping must see through the
+// pipeline's positional wrapper, exactly like errors.Is does.
+func TestHTTPStatusThroughPassError(t *testing.T) {
+	err := In("am", 1, &PanicError{Value: "boom"})
+	if got := HTTPStatus(err); got != http.StatusInternalServerError {
+		t.Errorf("HTTPStatus(wrapped panic) = %d; want 500", got)
+	}
+	if got := Name(err); got != "pass-panic" {
+		t.Errorf("Name(wrapped panic) = %q; want pass-panic", got)
+	}
+	berr := In("am", 1, &BudgetError{Resource: "solver visits", Used: 2, Limit: 1})
+	if got := HTTPStatus(berr); got != http.StatusUnprocessableEntity {
+		t.Errorf("HTTPStatus(wrapped budget) = %d; want 422", got)
+	}
+}

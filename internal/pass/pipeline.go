@@ -120,6 +120,10 @@ type Event struct {
 	// a *fault.PassError wrapping the taxonomy error, or an
 	// *InvariantError in Debug mode.
 	Err error `json:"-"`
+	// Error is Err rendered as text for serialization — JSON reports, the
+	// daemon's responses, the persistent result cache — where the typed
+	// error itself cannot travel. Empty when the pass succeeded.
+	Error string `json:"error,omitempty"`
 }
 
 // Report aggregates one pipeline run.
@@ -311,6 +315,7 @@ func (pl *Pipeline) RunWith(ctx context.Context, g *ir.Graph, s *analysis.Sessio
 				err = fault.In(p.Name, i, err)
 			}
 			ev.Err = err
+			ev.Error = err.Error()
 			if checkpoint != nil {
 				// Restore the last-good graph so callers never observe a
 				// half-optimized or invariant-breaking intermediate state.

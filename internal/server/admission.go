@@ -1,0 +1,86 @@
+package server
+
+// Admission control: a semaphore-bounded worker budget with a queue-depth
+// limit. The daemon never queues unboundedly — once the wait queue is
+// full, single-program requests are shed immediately with 429 +
+// Retry-After, which keeps latency bounded for the requests that ARE
+// admitted and tells well-behaved clients exactly what to do. Batch
+// requests pass one up-front depth check and then share the same worker
+// semaphore per graph, so a batch can never starve singles of more than
+// the slots it is actively using.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is the shed signal: the wait queue is full.
+var errOverloaded = errors.New("server overloaded: worker queue full")
+
+// admission is the worker-budget semaphore plus queue accounting.
+type admission struct {
+	sem        chan struct{} // capacity = worker budget
+	queueLimit int64         // max goroutines blocked waiting for a slot
+	waiting    atomic.Int64
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{sem: make(chan struct{}, workers), queueLimit: int64(queueDepth)}
+}
+
+// tryAcquire takes a worker slot, waiting in the bounded queue if all
+// slots are busy. It returns errOverloaded without waiting when the
+// queue is already full, and ctx.Err() if the caller's context expires
+// while queued.
+func (a *admission) tryAcquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if w := a.waiting.Add(1); w > a.queueLimit {
+		a.waiting.Add(-1)
+		return errOverloaded
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// acquire takes a worker slot, waiting as long as ctx allows. Used by the
+// per-graph jobs of an already-admitted batch, which must not be shed
+// mid-stream.
+func (a *admission) acquire(ctx context.Context) error {
+	a.waiting.Add(1)
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot.
+func (a *admission) release() { <-a.sem }
+
+// overloaded reports whether the wait queue is full right now — the
+// up-front shed check for batch requests, taken before the response
+// stream starts (a 429 cannot be sent once bytes are on the wire).
+func (a *admission) overloaded() bool {
+	return a.waiting.Load() >= a.queueLimit && a.queueLimit > 0 || a.queueLimit == 0 && len(a.sem) == cap(a.sem)
+}
+
+// queued reports the current wait-queue depth (for the metrics gauge).
+func (a *admission) queued() int64 { return a.waiting.Load() }

@@ -1,0 +1,147 @@
+package server
+
+// Chaos tests: internal/fault/inject wired through the daemon's Inject
+// seam. The contract under injected faults is strict — panics become
+// clean 500s carrying the typed failure name, the process never crashes,
+// and the persistent cache is never poisoned: a later daemon on the same
+// cache directory must compute correct results from scratch.
+
+import (
+	"net/http"
+	"testing"
+
+	"assignmentmotion/internal/corpus"
+	"assignmentmotion/internal/fault/inject"
+)
+
+func TestChaosPanicsBecomeTyped500s(t *testing.T) {
+	dir := t.TempDir()
+	injector := inject.New(inject.Config{Seed: 7, Rate: 1, Kinds: []inject.Kind{inject.Panic}})
+	srv, ts := newTestServer(t, Config{CacheDir: dir, Inject: injector.Wrap})
+
+	for _, name := range corpus.Names() {
+		var resp OptimizeResponse
+		hr := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source(name)}, &resp)
+		if hr.StatusCode != http.StatusInternalServerError {
+			t.Errorf("%s: status = %d; want 500", name, hr.StatusCode)
+		}
+		if resp.Outcome != "failed" {
+			t.Errorf("%s: outcome = %q; want failed", name, resp.Outcome)
+		}
+		if resp.ErrorKind != "pass-panic" {
+			t.Errorf("%s: errorKind = %q; want pass-panic (error: %s)", name, resp.ErrorKind, resp.Error)
+		}
+		if resp.FailedPass == "" {
+			t.Errorf("%s: response does not name the panicking pass", name)
+		}
+		if resp.Program != "" {
+			t.Errorf("%s: failed response carries a program", name)
+		}
+	}
+
+	// The daemon is still alive and healthy after absorbing every panic.
+	if hr, _ := getBody(t, ts.URL+"/healthz"); hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos = %d; want 200", hr.StatusCode)
+	}
+
+	// Failed results must never reach the persistent tier.
+	if n := srv.Store().Len(); n != 0 {
+		t.Fatalf("persistent store holds %d entries after pure-failure chaos; want 0", n)
+	}
+}
+
+// TestChaosDegradedResultsNotPersisted: with a skip-and-continue policy
+// the request succeeds (200, outcome degraded) but the result is
+// second-class — it must stay out of the persistent cache too.
+func TestChaosDegradedResultsNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	injector := inject.New(inject.Config{Seed: 7, Rate: 1, Kinds: []inject.Kind{inject.Panic}})
+	srv, ts := newTestServer(t, Config{CacheDir: dir, Inject: injector.Wrap})
+
+	var resp OptimizeResponse
+	hr := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{
+		Program: corpus.Source("dotprod"),
+		OnError: "skip",
+	}, &resp)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (error: %s); want 200", hr.StatusCode, resp.Error)
+	}
+	if resp.Outcome != "degraded" {
+		t.Fatalf("outcome = %q; want degraded", resp.Outcome)
+	}
+	if len(resp.Failures) == 0 {
+		t.Error("degraded response lists no absorbed failures")
+	}
+	if n := srv.Store().Len(); n != 0 {
+		t.Fatalf("persistent store holds %d degraded entries; want 0", n)
+	}
+}
+
+// TestChaosBatchSurvives: a whole batch of injected panics streams clean
+// typed failures and an honest summary; the server keeps serving.
+func TestChaosBatchSurvives(t *testing.T) {
+	injector := inject.New(inject.Config{Seed: 3, Rate: 1, Kinds: []inject.Kind{inject.Panic}})
+	_, ts := newTestServer(t, Config{Inject: injector.Wrap})
+
+	req := BatchRequest{}
+	names := corpus.Names()
+	for _, name := range names {
+		req.Programs = append(req.Programs, BatchProgram{Program: corpus.Source(name)})
+	}
+	results, summary := postBatch(t, ts.URL, req)
+	if len(results) != len(names) {
+		t.Fatalf("got %d result lines; want %d", len(results), len(names))
+	}
+	for _, r := range results {
+		if r.Outcome != "failed" || r.ErrorKind != "pass-panic" {
+			t.Errorf("index %d: outcome=%q kind=%q; want failed/pass-panic", r.Index, r.Outcome, r.ErrorKind)
+		}
+	}
+	if summary.Failed != len(names) || summary.Optimized != 0 {
+		t.Errorf("summary = %+v; want %d failed", summary, len(names))
+	}
+	if hr, _ := getBody(t, ts.URL+"/healthz"); hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after batch chaos = %d; want 200", hr.StatusCode)
+	}
+}
+
+// TestChaosNeverPoisonsSuccessors: after a chaos daemon dies, a clean
+// daemon on the same cache directory computes correct results — nothing
+// the faulty daemon did is visible, and the clean daemon's results match
+// a pristine in-memory daemon byte for byte.
+func TestChaosNeverPoisonsSuccessors(t *testing.T) {
+	dir := t.TempDir()
+
+	injector := inject.New(inject.Config{Seed: 11, Rate: 1})
+	chaosSrv, chaosTS := newTestServer(t, Config{CacheDir: dir, Inject: injector.Wrap})
+	for _, name := range corpus.Names() {
+		postJSON(t, chaosTS.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source(name)}, nil)
+		postJSON(t, chaosTS.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source(name), OnError: "skip"}, nil)
+		postJSON(t, chaosTS.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source(name), OnError: "rollback"}, nil)
+	}
+	if n := chaosSrv.Store().Len(); n != 0 {
+		t.Fatalf("chaos daemon persisted %d entries; want 0", n)
+	}
+	chaosTS.Close()
+	if err := chaosSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, cleanTS := newTestServer(t, Config{CacheDir: dir})
+	_, pristineTS := newTestServer(t, Config{})
+	for _, name := range corpus.Names() {
+		var clean, pristine OptimizeResponse
+		req := OptimizeRequest{Program: corpus.Source(name)}
+		hr := postJSON(t, cleanTS.URL+"/v1/optimize", req, &clean)
+		postJSON(t, pristineTS.URL+"/v1/optimize", req, &pristine)
+		if hr.StatusCode != http.StatusOK || clean.Outcome != "optimized" {
+			t.Errorf("%s after chaos: status=%d outcome=%q (error: %s)", name, hr.StatusCode, clean.Outcome, clean.Error)
+		}
+		if clean.CacheHit {
+			t.Errorf("%s: clean daemon claims a cache hit off a store chaos should have left empty", name)
+		}
+		if clean.Program != pristine.Program {
+			t.Errorf("%s: post-chaos result differs from pristine result", name)
+		}
+	}
+}

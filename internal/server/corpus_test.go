@@ -1,0 +1,77 @@
+package server
+
+// Integration test for the service contract: every program of the
+// embedded corpus, round-tripped through POST /v1/optimize, must come
+// back byte-identical to what the in-process library API produces. The
+// daemon is a transport, not a different optimizer.
+
+import (
+	"net/http"
+	"testing"
+
+	assignmentmotion "assignmentmotion"
+	"assignmentmotion/internal/corpus"
+	"assignmentmotion/internal/printer"
+)
+
+func TestCorpusRoundTripMatchesInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, name := range corpus.Names() {
+		t.Run(name, func(t *testing.T) {
+			src := corpus.Source(name)
+
+			// In-process reference: the full global algorithm via the
+			// public facade.
+			g, err := assignmentmotion.Parse(src)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			if err := assignmentmotion.Apply(g, assignmentmotion.PassGlobAlg); err != nil {
+				t.Fatalf("in-process apply %s: %v", name, err)
+			}
+			want := printer.String(g)
+
+			var resp OptimizeResponse
+			hr := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Program: src}, &resp)
+			if hr.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d (error: %s)", hr.StatusCode, resp.Error)
+			}
+			if resp.Outcome != "optimized" {
+				t.Fatalf("outcome = %q (error: %s)", resp.Outcome, resp.Error)
+			}
+			if resp.Program != want {
+				t.Errorf("service result differs from in-process optimization\n--- service ---\n%s\n--- in-process ---\n%s", resp.Program, want)
+			}
+		})
+	}
+}
+
+// TestCorpusBatchMatchesSingles: the streamed batch endpoint and the
+// single endpoint must agree program-for-program.
+func TestCorpusBatchMatchesSingles(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	names := corpus.Names()
+
+	singles := make(map[string]string, len(names))
+	req := BatchRequest{}
+	for _, name := range names {
+		var resp OptimizeResponse
+		postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source(name)}, &resp)
+		singles[name] = resp.Program
+		req.Programs = append(req.Programs, BatchProgram{Program: corpus.Source(name)})
+	}
+
+	results, summary := postBatch(t, ts.URL, req)
+	if summary.Optimized != len(names) {
+		t.Fatalf("summary = %+v; want %d optimized", summary, len(names))
+	}
+	for _, r := range results {
+		name := names[r.Index]
+		if r.Program != singles[name] {
+			t.Errorf("batch result for %s differs from single result", name)
+		}
+		if !r.CacheHit {
+			t.Errorf("batch result for %s missed the cache despite a prior single request", name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+// The headline acceptance test for the persistent tier: a daemon is fed
+// the corpus, dies, and a fresh daemon on the same cache directory must
+// answer every previously seen program from disk — byte-identical
+// results, zero pass executions — which the /metrics pass-event counters
+// prove (cache hits run no passes, so the counters stay flat).
+
+import (
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"assignmentmotion/internal/corpus"
+)
+
+var passRunsRe = regexp.MustCompile(`(?m)^amoptd_pass_runs_total\{pass="[^"]+"\} (\d+)$`)
+
+// totalPassRuns scrapes /metrics and sums amoptd_pass_runs_total across
+// all passes.
+func totalPassRuns(t *testing.T, url string) int {
+	t.Helper()
+	hr, body := getBody(t, url+"/metrics")
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", hr.StatusCode)
+	}
+	total := 0
+	for _, m := range passRunsRe.FindAllStringSubmatch(body, -1) {
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatalf("bad pass counter %q: %v", m[0], err)
+		}
+		total += n
+	}
+	return total
+}
+
+func TestRestartServesFromDiskWithoutRunningPasses(t *testing.T) {
+	dir := t.TempDir()
+	names := corpus.Names()
+
+	// First life: compute everything, populating the persistent tier.
+	srvA, tsA := newTestServer(t, Config{CacheDir: dir})
+	firstLife := make(map[string]string, len(names))
+	for _, name := range names {
+		var resp OptimizeResponse
+		hr := postJSON(t, tsA.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source(name)}, &resp)
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d (error: %s)", name, hr.StatusCode, resp.Error)
+		}
+		if resp.CacheHit {
+			t.Fatalf("%s: fresh daemon claims a cache hit", name)
+		}
+		firstLife[name] = resp.Program
+	}
+	if runs := totalPassRuns(t, tsA.URL); runs < len(names) {
+		t.Fatalf("first life ran %d passes for %d programs; expected at least one per program", runs, len(names))
+	}
+	if n := srvA.Store().Len(); n != len(names) {
+		t.Fatalf("persistent store holds %d entries; want %d", n, len(names))
+	}
+	tsA.Close()
+	if err := srvA.Close(); err != nil { // flushes the store index
+		t.Fatal(err)
+	}
+
+	// Second life: same directory, fresh process state.
+	_, tsB := newTestServer(t, Config{CacheDir: dir})
+	for _, name := range names {
+		var resp OptimizeResponse
+		hr := postJSON(t, tsB.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source(name)}, &resp)
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("%s after restart: status = %d (error: %s)", name, hr.StatusCode, resp.Error)
+		}
+		if !resp.CacheHit || resp.CacheTier != "disk" {
+			t.Errorf("%s after restart: cacheHit=%v tier=%q; want disk hit", name, resp.CacheHit, resp.CacheTier)
+		}
+		if resp.Program != firstLife[name] {
+			t.Errorf("%s after restart: program differs from first life", name)
+		}
+	}
+
+	// The decisive assertion: the restarted daemon answered everything
+	// without executing a single pass.
+	if runs := totalPassRuns(t, tsB.URL); runs != 0 {
+		t.Errorf("restarted daemon ran %d passes; want 0 (everything from disk)", runs)
+	}
+	hr, body := getBody(t, tsB.URL+"/metrics")
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", hr.StatusCode)
+	}
+	want := `amoptd_cache_hits_total{tier="disk"} ` + strconv.Itoa(len(names))
+	if !strings.Contains(body, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
+// TestRestartDistinguishesPipelineConfigs: entries persisted under one
+// pipeline configuration must not satisfy another after a restart — the
+// on-disk key carries passes, recovery policy, and budget.
+func TestRestartDistinguishesPipelineConfigs(t *testing.T) {
+	dir := t.TempDir()
+	src := corpus.Source("dotprod")
+
+	srvA, tsA := newTestServer(t, Config{CacheDir: dir})
+	postJSON(t, tsA.URL+"/v1/optimize", OptimizeRequest{Program: src}, nil)
+	tsA.Close()
+	if err := srvA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, tsB := newTestServer(t, Config{CacheDir: dir})
+	var resp OptimizeResponse
+	postJSON(t, tsB.URL+"/v1/optimize", OptimizeRequest{Program: src, Passes: []string{"init", "am"}}, &resp)
+	if resp.CacheHit {
+		t.Errorf("init,am pipeline served from the default pipeline's cache entry")
+	}
+	var again OptimizeResponse
+	postJSON(t, tsB.URL+"/v1/optimize", OptimizeRequest{Program: src}, &again)
+	if !again.CacheHit || again.CacheTier != "disk" {
+		t.Errorf("default pipeline after restart: cacheHit=%v tier=%q; want disk hit", again.CacheHit, again.CacheTier)
+	}
+}

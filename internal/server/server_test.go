@@ -1,0 +1,436 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"assignmentmotion/internal/corpus"
+)
+
+// newTestServer boots a Server over httptest and tears both down with t.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// postJSON posts v and decodes the JSON answer into out (when non-nil).
+func postJSON(t *testing.T, url string, v any, out any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp
+}
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, string(b)
+}
+
+// postBody marshals v for a hand-rolled http.Post.
+func postBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return bytes.NewReader(b)
+}
+
+// postBatch posts a batch request and decodes the NDJSON stream into
+// result lines plus the trailing summary.
+func postBatch(t *testing.T, baseURL string, req BatchRequest) ([]OptimizeResponse, *BatchSummary) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(baseURL+"/v1/optimize/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d; want 200", resp.StatusCode)
+	}
+	var results []OptimizeResponse
+	var summary *BatchSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var sum struct {
+			Summary *BatchSummary `json:"summary"`
+		}
+		if err := json.Unmarshal(line, &sum); err == nil && sum.Summary != nil {
+			summary = sum.Summary
+			continue
+		}
+		var r OptimizeResponse
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan stream: %v", err)
+	}
+	if summary == nil {
+		t.Fatal("stream has no summary line")
+	}
+	return results, summary
+}
+
+// distinctProgram builds a tiny valid program whose fingerprint differs
+// per i, for tests that must defeat caching and flight deduplication.
+func distinctProgram(i int) string {
+	return fmt.Sprintf(`graph p%d {
+  entry b0
+  exit b1
+  block b0 {
+    x := a + %d
+    y := a + %d
+    goto b1
+  }
+  block b1 { out(x, y) }
+}
+`, i, i, i)
+}
+
+func TestOptimizeHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp OptimizeResponse
+	hr := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Program: corpus.Source("dotprod")}, &resp)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; want 200", hr.StatusCode)
+	}
+	if resp.Outcome != "optimized" {
+		t.Errorf("outcome = %q; want optimized", resp.Outcome)
+	}
+	if resp.Program == "" || !strings.Contains(resp.Program, "graph dotprod") {
+		t.Errorf("response program missing or unnamed:\n%s", resp.Program)
+	}
+	if resp.Fingerprint == "" {
+		t.Error("response has no fingerprint")
+	}
+	if resp.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if len(resp.Passes) == 0 {
+		t.Error("response carries no pass events")
+	}
+}
+
+func TestOptimizeMemoryCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := OptimizeRequest{Program: corpus.Source("gcdish")}
+	var first, second OptimizeResponse
+	postJSON(t, ts.URL+"/v1/optimize", req, &first)
+	postJSON(t, ts.URL+"/v1/optimize", req, &second)
+	if !second.CacheHit || second.CacheTier != "memory" {
+		t.Errorf("second request: cacheHit=%v tier=%q; want memory hit", second.CacheHit, second.CacheTier)
+	}
+	if first.Program != second.Program {
+		t.Error("cached program differs from computed program")
+	}
+}
+
+func TestOptimizeBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  OptimizeRequest
+		kind string
+	}{
+		{"empty-program", OptimizeRequest{}, "bad-request"},
+		{"parse-error", OptimizeRequest{Program: "graph g { this is not fg"}, "parse-error"},
+		{"unknown-pass", OptimizeRequest{Program: distinctProgram(0), Passes: []string{"no-such-pass"}}, "bad-request"},
+		{"unknown-dialect", OptimizeRequest{Program: distinctProgram(0), Dialect: "cobol"}, "parse-error"},
+		{"bad-policy", OptimizeRequest{Program: distinctProgram(0), OnError: "explode"}, "bad-request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var eb errorBody
+			hr := postJSON(t, ts.URL+"/v1/optimize", tc.req, &eb)
+			if hr.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d; want 400", hr.StatusCode)
+			}
+			if eb.ErrorKind != tc.kind {
+				t.Errorf("errorKind = %q; want %q (error: %s)", eb.ErrorKind, tc.kind, eb.Error)
+			}
+		})
+	}
+
+	t.Run("not-json", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader("}{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d; want 400", resp.StatusCode)
+		}
+	})
+}
+
+func TestOptimizeBudgetExceeded(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp OptimizeResponse
+	hr := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{
+		Program: corpus.Source("dotprod"),
+		Budget:  &BudgetSpec{MaxSolverVisits: 1},
+	}, &resp)
+	if hr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d; want 422", hr.StatusCode)
+	}
+	if resp.ErrorKind != "budget-exceeded" {
+		t.Errorf("errorKind = %q; want budget-exceeded (error: %s)", resp.ErrorKind, resp.Error)
+	}
+	if resp.FailedPass == "" {
+		t.Error("response does not name the failing pass")
+	}
+}
+
+func TestOptimizeCustomPipeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp OptimizeResponse
+	hr := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{
+		Program: corpus.Source("dotprod"),
+		Passes:  []string{"init", "am", "flush"},
+	}, &resp)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; want 200", hr.StatusCode)
+	}
+	var names []string
+	for _, ev := range resp.Passes {
+		names = append(names, ev.Pass)
+	}
+	if got := strings.Join(names, ","); got != "init,am,flush" {
+		t.Errorf("executed passes = %s; want init,am,flush", got)
+	}
+}
+
+func TestPassesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hr, body := getBody(t, ts.URL+"/v1/passes")
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; want 200", hr.StatusCode)
+	}
+	for _, want := range []string{"globalg", "init", "am", "flush", "default"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("passes listing missing %q", want)
+		}
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	hr, body := getBody(t, ts.URL+"/healthz")
+	if hr.StatusCode != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz = %d %q; want 200 ok", hr.StatusCode, body)
+	}
+
+	srv.Drain()
+	hr, body = getBody(t, ts.URL+"/healthz")
+	if hr.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("draining healthz = %d %q; want 503 draining", hr.StatusCode, body)
+	}
+	var eb errorBody
+	if hr := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Program: distinctProgram(1)}, &eb); hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("optimize while draining = %d; want 503", hr.StatusCode)
+	}
+	if hr := postJSON(t, ts.URL+"/v1/optimize/batch", BatchRequest{}, nil); hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch while draining = %d; want 503", hr.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheDir: t.TempDir()})
+	req := OptimizeRequest{Program: corpus.Source("dotprod")}
+	postJSON(t, ts.URL+"/v1/optimize", req, nil)
+	postJSON(t, ts.URL+"/v1/optimize", req, nil)
+
+	hr, body := getBody(t, ts.URL+"/metrics")
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d; want 200", hr.StatusCode)
+	}
+	if ct := hr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type = %q; want text/plain", ct)
+	}
+	for _, want := range []string{
+		`amoptd_requests_total{endpoint="optimize",outcome="optimized"} 2`,
+		`amoptd_cache_hits_total{tier="memory"} 1`,
+		`amoptd_cache_misses_total 1`,
+		`amoptd_pass_runs_total{pass="am"} 1`,
+		`amoptd_store_entries 1`,
+		"amoptd_request_duration_seconds_bucket",
+		"amoptd_inflight_jobs 0",
+		"amoptd_uptime_seconds",
+		"amoptd_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestBatchStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := BatchRequest{}
+	for i := 0; i < 3; i++ {
+		req.Programs = append(req.Programs, BatchProgram{Program: distinctProgram(i)})
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/optimize/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q; want application/x-ndjson", ct)
+	}
+
+	var results []OptimizeResponse
+	var summary *BatchSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var sum struct {
+			Summary *BatchSummary `json:"summary"`
+		}
+		if err := json.Unmarshal(line, &sum); err == nil && sum.Summary != nil {
+			summary = sum.Summary
+			continue
+		}
+		var r OptimizeResponse
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d result lines; want 3", len(results))
+	}
+	seen := map[int]bool{}
+	for _, r := range results {
+		if r.Outcome != "optimized" {
+			t.Errorf("program %d outcome = %q (error: %s)", r.Index, r.Outcome, r.Error)
+		}
+		if r.Program == "" {
+			t.Errorf("program %d has no optimized text", r.Index)
+		}
+		seen[r.Index] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("indices not distinct: %v", seen)
+	}
+	if summary == nil {
+		t.Fatal("stream has no summary line")
+	}
+	if summary.Graphs != 3 || summary.Optimized != 3 || summary.Failed != 0 {
+		t.Errorf("summary = %+v; want 3 graphs, 3 optimized", summary)
+	}
+}
+
+func TestBatchBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2})
+	t.Run("empty", func(t *testing.T) {
+		var eb errorBody
+		if hr := postJSON(t, ts.URL+"/v1/optimize/batch", BatchRequest{}, &eb); hr.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d; want 400", hr.StatusCode)
+		}
+	})
+	t.Run("parse-error-aborts-before-stream", func(t *testing.T) {
+		req := BatchRequest{Programs: []BatchProgram{
+			{Program: distinctProgram(0)},
+			{Name: "broken", Program: "graph g {"},
+		}}
+		var eb errorBody
+		hr := postJSON(t, ts.URL+"/v1/optimize/batch", req, &eb)
+		if hr.StatusCode != http.StatusBadRequest || eb.ErrorKind != "parse-error" {
+			t.Errorf("status/kind = %d %q; want 400 parse-error", hr.StatusCode, eb.ErrorKind)
+		}
+		if !strings.Contains(eb.Error, "broken") {
+			t.Errorf("error does not name the broken program: %s", eb.Error)
+		}
+	})
+	t.Run("over-limit", func(t *testing.T) {
+		req := BatchRequest{}
+		for i := 0; i < 3; i++ {
+			req.Programs = append(req.Programs, BatchProgram{Program: distinctProgram(i)})
+		}
+		if hr := postJSON(t, ts.URL+"/v1/optimize/batch", req, nil); hr.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d; want 400", hr.StatusCode)
+		}
+	})
+}
+
+func TestIndexPage(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hr, body := getBody(t, ts.URL+"/")
+	if hr.StatusCode != http.StatusOK || !strings.Contains(body, "/v1/optimize") {
+		t.Errorf("index = %d %q", hr.StatusCode, body)
+	}
+}
+
+func TestDeadlineClamp(t *testing.T) {
+	s, err := New(Config{DefaultDeadline: 2 * time.Second, MaxDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if d := s.deadline(0); d != 2*time.Second {
+		t.Errorf("default deadline = %v; want 2s", d)
+	}
+	if d := s.deadline(1000); d != time.Second {
+		t.Errorf("deadline(1000ms) = %v; want 1s", d)
+	}
+	if d := s.deadline(60_000); d != 5*time.Second {
+		t.Errorf("deadline(60s) = %v; want clamped to 5s", d)
+	}
+}
