@@ -50,6 +50,7 @@ import (
 	_ "assignmentmotion/internal/copyprop"
 	_ "assignmentmotion/internal/dce"
 	_ "assignmentmotion/internal/flush"
+	_ "assignmentmotion/internal/gvn"
 	_ "assignmentmotion/internal/lcm"
 	_ "assignmentmotion/internal/mr"
 	_ "assignmentmotion/internal/pde"
@@ -233,8 +234,19 @@ const (
 	PassEMCP Pass = "emcp"
 	// PassFlush is the final flush alone (Table 3).
 	PassFlush Pass = "flush"
-	// PassCopyProp is global copy propagation.
+	// PassCopyProp is unified global copy+constant propagation: uses are
+	// replaced through available copies whose source may be a variable or
+	// a literal, and fully-literal terms fold in the same fixpoint
+	// (Sreekala & Paleri: copy propagation subsumes constant propagation).
 	PassCopyProp Pass = "copyprop"
+	// PassGVN is global value numbering: recomputations of values already
+	// available in some variable (or literal) become trivial copies, by
+	// Kildall-style partition refinement over the value graph.
+	PassGVN Pass = "gvn"
+	// PassGVNEMCP prefixes every EM/CP round with GVN, so the shrunken
+	// expression-pattern universe feeds the motion analyses — the
+	// second-order GVN->AM interaction, measurable per round.
+	PassGVNEMCP Pass = "gvn-emcp"
 	// PassDCE is strong-liveness dead assignment elimination. It is NOT
 	// part of any paper pipeline (§3: not semantics-preserving in
 	// general) and exists for comparisons.
@@ -257,8 +269,8 @@ const (
 // registry (PassInfos) and this list agree; a test enforces it.
 func Passes() []Pass {
 	return []Pass{PassGlobAlg, PassInit, PassAM, PassAMRestricted, PassAHT,
-		PassRAE, PassEM, PassMR, PassEMCP, PassFlush, PassCopyProp, PassDCE,
-		PassPDE, PassSplit, PassTidy}
+		PassRAE, PassEM, PassMR, PassEMCP, PassFlush, PassCopyProp, PassGVN,
+		PassGVNEMCP, PassDCE, PassPDE, PassSplit, PassTidy}
 }
 
 // PassInfo describes one registered pass: its name, a one-line

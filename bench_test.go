@@ -19,11 +19,13 @@ import (
 	"assignmentmotion/internal/arena"
 	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/cfggen"
-	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/corpus"
+	"assignmentmotion/internal/dataflow"
 	"assignmentmotion/internal/engine"
 	"assignmentmotion/internal/figures"
 	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/gvn"
 	"assignmentmotion/internal/interp"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/lcm"
@@ -499,4 +501,45 @@ func BenchmarkApplyPasses(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGVNUniverse measures the second-order effect the gvn-emcp
+// composite exists for: running value numbering BEFORE initialization
+// collapses equivalent recomputations into copies, which shrinks the
+// expression-pattern universe the AM bit-vector analyses range over and
+// with it the motion fixpoint's work. The patterns metric is the universe
+// size after decomposition; AMiters is the motion fixpoint's iteration
+// count. Rows are recorded in BENCH_dataflow.json.
+func BenchmarkGVNUniverse(b *testing.B) {
+	bases := []struct {
+		name string
+		g    *ir.Graph
+	}{
+		{"exprchain", corpus.Load("exprchain")},
+		{"quantize", corpus.Load("quantize")},
+		{"structured40", cfggen.Structured(3, cfggen.Config{Size: 40})},
+	}
+	for _, base := range bases {
+		for _, mode := range []string{"without", "gvn-first"} {
+			mode := mode
+			b.Run(base.name+"/"+mode, func(b *testing.B) {
+				b.ReportAllocs()
+				var patterns, iters int
+				for i := 0; i < b.N; i++ {
+					g := base.g.Clone()
+					if mode == "gvn-first" {
+						gvn.Run(g)
+					}
+					g.SplitCriticalEdges()
+					core.Initialize(g)
+					patterns = ir.AssignUniverse(g).Len()
+					st := am.Run(g)
+					iters = st.Iterations
+					flush.Run(g)
+				}
+				b.ReportMetric(float64(patterns), "patterns")
+				b.ReportMetric(float64(iters), "AMiters")
+			})
+		}
+	}
 }

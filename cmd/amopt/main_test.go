@@ -203,3 +203,38 @@ func TestEveryPassRunsOnEveryFigure(t *testing.T) {
 		}
 	}
 }
+
+func TestPassesListOutput(t *testing.T) {
+	out, err := runCLI(t, "-passes", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every registered pass appears, first on its line, in sorted order.
+	want := []string{
+		"aht", "am", "am-restricted", "copyprop", "dce", "em", "emcp",
+		"flush", "globalg", "gvn", "gvn-emcp", "init", "mr", "pde",
+		"rae", "split", "tidy",
+	}
+	var names []string
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 || strings.HasPrefix(f[0], "[") {
+			continue // reference continuation line
+		}
+		names = append(names, f[0])
+	}
+	if len(names) != len(want) {
+		t.Fatalf("-passes list shows %d passes, want %d:\n%s", len(names), len(want), out)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("-passes list position %d: got %q, want %q", i, names[i], want[i])
+		}
+	}
+	// The new family's descriptions carry their paper references.
+	for _, ref := range []string{"1303.1880", "2207.03894"} {
+		if !strings.Contains(out, ref) {
+			t.Errorf("missing reference %q in -passes list output:\n%s", ref, out)
+		}
+	}
+}

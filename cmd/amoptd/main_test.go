@@ -8,12 +8,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"assignmentmotion/internal/corpus"
+	"assignmentmotion/internal/pass"
 )
 
 // freeAddr reserves a loopback port and releases it for the daemon to
@@ -138,5 +140,24 @@ func TestDaemonUnusableCacheDir(t *testing.T) {
 	}
 	if code := run([]string{"-cache-dir", filepath.Join(file, "sub")}, os.Stdout, os.Stderr); code != 1 {
 		t.Errorf("unusable cache dir exit = %d; want 1", code)
+	}
+}
+
+// TestDaemonRegistryComplete pins the pass registry as linked into THIS
+// binary. The registry is populated by blank imports; the root facade's
+// imports cover amopt, but amoptd links the engine without the facade,
+// and before the engine grew its own blank-import block the daemon
+// silently served a partial registry (no copyprop, dce, em, emcp, gvn,
+// gvn-emcp, mr, pde). This test must not import the assignmentmotion
+// root package, or it would mask exactly that regression.
+func TestDaemonRegistryComplete(t *testing.T) {
+	want := []string{
+		"aht", "am", "am-restricted", "copyprop", "dce", "em", "emcp",
+		"flush", "globalg", "gvn", "gvn-emcp", "init", "mr", "pde",
+		"rae", "split", "tidy",
+	}
+	got := pass.Names()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("registry linked into amoptd = %v; want %v", got, want)
 	}
 }

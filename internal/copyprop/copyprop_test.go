@@ -84,8 +84,15 @@ graph g {
 `)
 	orig := g.Clone()
 	Run(g)
-	if keys := instrKeys(g, "a"); keys[2] != "x:=t+1" {
-		t.Errorf("propagated dead copy: %v", keys)
+	// The dead copy t := s must NOT reach the use — but the literal copy
+	// t := 9 that killed it does, and 9+1 folds.
+	if keys := instrKeys(g, "a"); keys[2] != "x:=10" {
+		t.Errorf("want the literal copy propagated and folded, got: %v", keys)
+	}
+	for _, in := range g.BlockByName("a").Instrs {
+		if in.Key() == "x:=s+1" {
+			t.Errorf("propagated past kill of t := s: %v", instrKeys(g, "a"))
+		}
 	}
 	checkTraces(t, orig, g, []map[ir.Var]int64{{"s": 5}})
 }

@@ -8,6 +8,7 @@ import (
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/parse"
 	"assignmentmotion/internal/printer"
+	"assignmentmotion/internal/verify"
 )
 
 // Figure 4: the running example.
@@ -312,4 +313,89 @@ func checkSame(t *testing.T, orig, xform *ir.Graph) {
 			t.Errorf("env %v: trace changed %v -> %v\n%s", env, r1.Trace, r2.Trace, printer.String(xform))
 		}
 	}
+}
+
+// TestInitializeClobberGuard pins the re-initialization hazard found by the
+// PR 6 differential sweep (unstructured/seed50): a propagation round can
+// extend a temporary's live range beyond its defining copies, and a later
+// initialization round that decomposes a NEW site of the same pattern would
+// insert h_ε := ε over the live value. Initialize must leave such a site
+// undecomposed.
+func TestInitializeClobberGuard(t *testing.T) {
+	g := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a / b
+    x := h1
+    goto m
+  }
+  block m {
+    a := a + 1
+    y := a / b
+    goto e
+  }
+  block e { out(x, y, h1) }
+}
+`)
+	orig := g.Clone()
+	Initialize(g)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The new site of a/b in m must survive: h1's entry value is read at e.
+	found := false
+	for _, in := range g.BlockByName("m").Instrs {
+		if in.Key() == "y:=a/b" {
+			found = true
+		}
+		if in.Key() == "h1:=a/b" {
+			t.Errorf("live temporary h1 clobbered by re-initialization: %v", blockKeys(g, "m"))
+		}
+	}
+	if !found {
+		t.Errorf("site disappeared: %v", blockKeys(g, "m"))
+	}
+	if rep := verify.Equivalent(orig, g, 4, 1); !rep.Equivalent {
+		t.Errorf("semantics changed: %s", rep.Detail)
+	}
+
+	// A dead temporary imposes no constraint: the same program without the
+	// propagated use of h1 decomposes fully, through the same temp.
+	g2 := parse.MustParseTemps(`
+graph g {
+  entry a
+  exit e
+  block a {
+    h1 := a / b
+    x := h1
+    goto m
+  }
+  block m {
+    a := a + 1
+    y := a / b
+    goto e
+  }
+  block e { out(x, y) }
+}
+`)
+	Initialize(g2)
+	found = false
+	for _, in := range g2.BlockByName("m").Instrs {
+		if in.Key() == "h1:=a/b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead temp blocked decomposition: %v", blockKeys(g2, "m"))
+	}
+}
+
+func blockKeys(g *ir.Graph, name string) []string {
+	var out []string
+	for _, in := range g.BlockByName(name).Instrs {
+		out = append(out, in.Key())
+	}
+	return out
 }

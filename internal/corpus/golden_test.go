@@ -27,7 +27,9 @@ func TestGoldenOutputs(t *testing.T) {
 		got := printer.String(g)
 		path := "golden/" + name + ".globalg.fg"
 		if *updateGolden {
-			if err := os.WriteFile("internal/corpus/"+path, []byte(got), 0o644); err != nil {
+			// The test binary runs in the package directory, so the path is
+			// relative to internal/corpus, exactly like the embed pattern.
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 				t.Fatal(err)
 			}
 			continue

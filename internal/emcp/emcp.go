@@ -14,6 +14,7 @@ package emcp
 import (
 	"assignmentmotion/internal/analysis"
 	"assignmentmotion/internal/copyprop"
+	"assignmentmotion/internal/gvn"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/lcm"
 	"assignmentmotion/internal/pass"
@@ -35,6 +36,18 @@ func init() {
 			}, err
 		},
 	})
+	pass.Register(pass.Pass{
+		Name:        "gvn-emcp",
+		Description: "GVN/EM/CP interleaving: value numbering before each EM/CP round, measuring the GVN->AM second-order effect",
+		Ref:         "§6, Figure 20(a) + Saleena & Paleri, arXiv:1303.1880",
+		RunWith: func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+			st, err := TryRunGVNWith(g, s)
+			return pass.Stats{
+				Changes:    st.Numbered + st.Eliminated + st.Replaced,
+				Iterations: st.Rounds,
+			}, err
+		},
+	})
 }
 
 // Stats reports what one EM/CP interleaving run did.
@@ -51,6 +64,9 @@ type Stats struct {
 	// Replaced is the total number of operand occurrences rewritten by the
 	// copy propagation rounds.
 	Replaced int
+	// Numbered is the total number of recomputations rewritten into copies
+	// by the value-numbering rounds (gvn-emcp only; zero for plain emcp).
+	Numbered int
 }
 
 // Run applies the EM/CP interleaving to g in place.
@@ -79,6 +95,35 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 // On error the graph is left in the valid state of the last completed
 // round (every round is a complete, semantics-preserving transformation).
 func TryRunWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
+	return interleave(g, s, false)
+}
+
+// RunGVN applies the GVN/EM/CP interleaving to g in place: every round
+// first rewrites equivalent recomputations into copies by global value
+// numbering, then runs lazy code motion and copy propagation. Running GVN
+// first shrinks the expression-pattern universe the motion analyses range
+// over — the second-order interaction the gvn-emcp composite exists to
+// measure.
+func RunGVN(g *ir.Graph) Stats {
+	s := analysis.NewSession()
+	defer s.Close()
+	st, err := TryRunGVNWith(g, s)
+	if err != nil {
+		panic("gvn-emcp: " + err.Error())
+	}
+	return st
+}
+
+// TryRunGVNWith is the fallible form of RunGVN against an existing session,
+// with the same budget/cancellation contract as TryRunWith.
+func TryRunGVNWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
+	return interleave(g, s, true)
+}
+
+// interleave runs the (optionally GVN-prefixed) EM/CP rounds to a capped
+// fixpoint. Every round is a complete, semantics-preserving transformation,
+// so on error the graph is the valid result of the last completed round.
+func interleave(g *ir.Graph, s *analysis.Session, withGVN bool) (Stats, error) {
 	var st Stats
 	for st.Rounds < MaxRounds {
 		st.Rounds++
@@ -87,6 +132,13 @@ func TryRunWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
 			return st, err
 		}
 		before := g.Encode()
+		if withGVN {
+			numbered, _, err := gvn.TryRunWith(g, s)
+			st.Numbered += numbered
+			if err != nil {
+				return st, err
+			}
+		}
 		em := lcm.RunWith(g, s)
 		st.Decomposed += em.Decomposed
 		st.Eliminated += em.Eliminated

@@ -43,6 +43,23 @@ import (
 	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/pass"
+
+	// The engine resolves Options.Passes against the pass registry, so it
+	// must link every self-registering pass package — not just the ones it
+	// calls directly. Without these, a binary embedding the engine but not
+	// the root facade (amoptd) silently serves a partial registry: its
+	// /v1/passes listing and name resolution miss copyprop, dce, em, emcp,
+	// gvn, gvn-emcp, mr, and pde. The facade's own blank imports mask the
+	// gap in any test binary that imports assignmentmotion.
+	_ "assignmentmotion/internal/aht"
+	_ "assignmentmotion/internal/copyprop"
+	_ "assignmentmotion/internal/dce"
+	_ "assignmentmotion/internal/emcp"
+	_ "assignmentmotion/internal/gvn"
+	_ "assignmentmotion/internal/lcm"
+	_ "assignmentmotion/internal/mr"
+	_ "assignmentmotion/internal/pde"
+	_ "assignmentmotion/internal/rae"
 )
 
 // DefaultCacheSize bounds the result cache when Options.CacheSize is 0.

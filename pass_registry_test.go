@@ -8,9 +8,29 @@ package assignmentmotion
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 )
+
+// TestRegistryOrderingPinned pins the exact contents and sorted order of
+// the pass registry — the order `amopt -passes list` and amoptd's
+// GET /v1/passes present to users. Adding or renaming a pass is a conscious
+// API change and must update this list.
+func TestRegistryOrderingPinned(t *testing.T) {
+	want := []string{
+		"aht", "am", "am-restricted", "copyprop", "dce", "em", "emcp",
+		"flush", "globalg", "gvn", "gvn-emcp", "init", "mr", "pde",
+		"rae", "split", "tidy",
+	}
+	var got []string
+	for _, in := range PassInfos() {
+		got = append(got, in.Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("registry order changed:\n got %v\nwant %v", got, want)
+	}
+}
 
 // TestPassesMatchRegistry pins the facade's hand-curated Passes() list to
 // the self-registered pass registry: every registered pass is listed and

@@ -19,6 +19,7 @@ import (
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/dce"
 	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/gvn"
 	"assignmentmotion/internal/lcm"
 	"assignmentmotion/internal/mr"
 	"assignmentmotion/internal/pde"
@@ -67,6 +68,19 @@ func legacyApply(t *testing.T, g *Graph, p Pass) {
 		flush.Run(g)
 	case PassCopyProp:
 		copyprop.Run(g)
+	case PassGVN:
+		gvn.Run(g)
+	case PassGVNEMCP:
+		// Like PassEMCP, but with a value-numbering step opening each round.
+		for i := 0; i < 16; i++ {
+			before := g.Encode()
+			gvn.Run(g)
+			lcm.Run(g)
+			copyprop.Run(g)
+			if g.Encode() == before {
+				return
+			}
+		}
 	case PassDCE:
 		dce.Run(g)
 	case PassPDE:
