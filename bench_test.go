@@ -355,8 +355,10 @@ func BenchmarkFingerprint(b *testing.B) {
 
 // solverProblem builds the block-level availability problem (the shape of
 // rae's solve) over g with synthetic gen/kill vectors, for the solver
-// micro-benchmarks.
-func solverProblem(g *ir.Graph, bits int) dataflow.Problem {
+// micro-benchmarks. With dense set the problem carries the vectors in the
+// Gen/Kill fields (the fused word-parallel kernel path); otherwise it
+// applies them through a Transfer closure (the legacy dispatch path).
+func solverProblem(g *ir.Graph, bits int, dense bool) dataflow.Problem {
 	n := len(g.Blocks)
 	preds := make([][]int, n)
 	succs := make([][]int, n)
@@ -377,27 +379,41 @@ func solverProblem(g *ir.Graph, bits int) dataflow.Problem {
 		kill[i].Set((i * 7) % bits)
 	}
 	entry := int(g.Entry)
-	return dataflow.Problem{
+	p := dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
 		Preds: func(i int) []int { return preds[i] },
 		Succs: func(i int) []int { return succs[i] },
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			out.AndNot(kill[i])
-			out.Or(gen[i])
-		},
 		Boundary: func(i int, in bitvec.Vec) {
 			if i == entry {
 				in.ClearAll()
 			}
 		},
 	}
+	if dense {
+		p.Gen, p.Kill = gen, kill
+	} else {
+		p.Transfer = func(i int, in, out bitvec.Vec) {
+			out.CopyFrom(in)
+			out.AndNot(kill[i])
+			out.Or(gen[i])
+		}
+	}
+	return p
 }
 
 // BenchmarkSolverOrder is experiment D1: the same availability problem
-// solved with the legacy FIFO worklist and with the RPO priority worklist.
-// The reported visits/sweeps metrics show why RPO wins: long acyclic
-// stretches propagate in one pass.
+// solved with the legacy FIFO worklist, with the RPO priority worklist,
+// and with the RPO worklist reading dense Gen/Kill vectors through the
+// fused word kernel instead of a Transfer closure. The reported
+// visits/sweeps metrics show why RPO wins (long acyclic stretches
+// propagate in one pass); the genkill row shows what the kernel saves per
+// visit: no scratch clear/compare, one fused pass over the words with the
+// change bit folded in. The vector width is each graph's real
+// assignment-pattern universe (what the motion analyses would solve at),
+// and the priority modes share one precomputed visit order exactly as
+// production solves do through analysis.Session — a fixpoint round runs
+// dozens of solves per order computation, so folding the order build into
+// every solve would measure graph traversal, not solving.
 func BenchmarkSolverOrder(b *testing.B) {
 	for _, row := range []struct {
 		name string
@@ -407,9 +423,18 @@ func BenchmarkSolverOrder(b *testing.B) {
 		{"structured80", cfggen.Structured(1, cfggen.Config{Size: 80})},
 		{"unstructured80", cfggen.Unstructured(1, cfggen.Config{Size: 80})},
 	} {
-		p := solverProblem(row.g, 64)
-		for _, mode := range []string{"fifo", "rpo"} {
+		for _, mode := range []string{"fifo", "rpo", "genkill"} {
+			p := solverProblem(row.g, ir.AssignUniverse(row.g).Len(), mode == "genkill")
 			p.FIFO = mode == "fifo"
+			if !p.FIFO {
+				var roots []int
+				for i := 0; i < p.N; i++ {
+					if len(p.Preds(i)) == 0 {
+						roots = append(roots, i)
+					}
+				}
+				p.Order = dataflow.FlowOrder(p.N, roots, p.Succs)
+			}
 			b.Run(row.name+"/"+mode, func(b *testing.B) {
 				b.ReportAllocs()
 				var res dataflow.Result
@@ -423,12 +448,51 @@ func BenchmarkSolverOrder(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverParallel is experiment D3: one availability solve over a
+// single large graph (cfggen.Structured size 1000: ~2.7k blocks at its
+// real ~2.9k-pattern universe width, ~2 MB of live fact vectors), serial
+// vs fanned out over the SCC condensation to one worker per core. On a
+// multi-core host the parallel row must win on the acyclic spine
+// (independent components solve concurrently); on a single-core host the
+// rows tie and the CI bench-record job supplies the real numbers. Work
+// counters stay deterministic either way.
+func BenchmarkSolverParallel(b *testing.B) {
+	g := cfggen.Structured(11, cfggen.Config{Size: 1000})
+	for _, row := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		p := solverProblem(g, ir.AssignUniverse(g).Len(), true)
+		p.Workers = row.workers
+		var roots []int
+		for i := 0; i < p.N; i++ {
+			if len(p.Preds(i)) == 0 {
+				roots = append(roots, i)
+			}
+		}
+		p.Order = dataflow.FlowOrder(p.N, roots, p.Succs)
+		b.Run(row.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res dataflow.Result
+			for i := 0; i < b.N; i++ {
+				res = dataflow.Solve(p)
+			}
+			b.ReportMetric(float64(len(g.Blocks)), "blocks")
+			b.ReportMetric(float64(res.Visits), "visits")
+			b.ReportMetric(float64(res.Sweeps), "sweeps")
+		})
+	}
+}
+
 // BenchmarkSolverArena is experiment D2: the same solve with fresh heap
 // vectors per run vs carved out of one reused arena — the allocation story
 // behind the warm assignment-motion fixpoint.
 func BenchmarkSolverArena(b *testing.B) {
 	g := cfggen.Structured(1, cfggen.Config{Size: 80})
-	p := solverProblem(g, 64)
+	p := solverProblem(g, ir.AssignUniverse(g).Len(), false)
 	b.Run("fresh", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -501,6 +565,35 @@ func BenchmarkApplyPasses(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAMRestricted measures the Dhamdhere-style restricted AM
+// baseline end to end. Its admission test ("is hoisting pattern α
+// immediately profitable?") is the allocation hot spot this row tracks:
+// the per-pattern trial-clone implementation cloned the whole graph once
+// per pattern per fixpoint iteration; the batched implementation runs one
+// trial per iteration and reads all patterns' occurrence counts off it.
+// Rows are recorded in BENCH_engine.json ("amRestricted").
+func BenchmarkAMRestricted(b *testing.B) {
+	rows := []struct {
+		name string
+		g    *ir.Graph
+	}{
+		{"quantize", corpus.Load("quantize")},
+		{"structured20", cfggen.Structured(2, cfggen.Config{Size: 20})},
+		{"structured40", cfggen.Structured(3, cfggen.Config{Size: 40})},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				st := am.RunRestricted(row.g.Clone())
+				iters = st.Iterations
+			}
+			b.ReportMetric(float64(iters), "AMiters")
+		})
+	}
 }
 
 // BenchmarkGVNUniverse measures the second-order effect the gvn-emcp

@@ -1,0 +1,75 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable benchmark document layout of the repo's BENCH_*.json
+// files. Repeats from -count are collapsed to the minimum ns/op per
+// benchmark (external load only inflates a shared-CPU measurement, so the
+// smallest observation is the closest to the true cost — run with
+// -count=10 and let the tool pick).
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSolverOrder -benchtime 300x -count 10 -benchmem . \
+//	  | go run ./cmd/benchjson -description "solver rows" -note "4-core CI runner" > BENCH_dataflow.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"assignmentmotion/internal/benchfmt"
+)
+
+func main() {
+	description := flag.String("description", "", "document description field")
+	note := flag.String("note", "", "environment note (host caveats, core count)")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "document date")
+	flag.Parse()
+
+	rows, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark rows on stdin")
+		os.Exit(1)
+	}
+	doc := benchfmt.Doc{
+		Description: *description,
+		Date:        *date,
+		Environment: benchfmt.Environment{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPU:        cpuModel(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note:       *note,
+		},
+		Rows: benchfmt.Aggregate(rows),
+	}
+	out, err := doc.MarshalJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo, best effort —
+// the field is informational and an empty string is acceptable on hosts
+// without it.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -112,23 +112,22 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 
 	exit := int(g.Exit)
 	res := dataflow.Solve(dataflow.Problem{
-		N:     n,
-		Bits:  bits,
-		Dir:   dataflow.Backward,
-		Meet:  dataflow.All,
-		Preds: bv.Preds,
-		Succs: bv.Succs,
-		Order: bv.BwdOrder,
-		Arena: ar,
-		Stats: s.DataflowStats(),
+		N:       n,
+		Bits:    bits,
+		Dir:     dataflow.Backward,
+		Meet:    dataflow.All,
+		Preds:   bv.Preds,
+		Succs:   bv.Succs,
+		Order:   bv.BwdOrder,
+		Arena:   ar,
+		Stats:   s.DataflowStats(),
+		Workers: s.SolverWorkersFor(n),
 		// For a Backward problem the solver's "in" is the fact at the
 		// block's exit (X-HOISTABLE) and "out" the fact at its entry
-		// (N-HOISTABLE).
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			out.AndNot(info.LocBlocked[i])
-			out.Or(info.LocHoistable[i])
-		},
+		// (N-HOISTABLE): N-HOISTABLE = LOC-HOISTABLE ∨ (X-HOISTABLE ∧
+		// ¬LOC-BLOCKED), the dense gen/kill form.
+		Gen:  info.LocHoistable,
+		Kill: info.LocBlocked,
 		Boundary: func(i int, in bitvec.Vec) {
 			if i == exit {
 				in.ClearAll()
@@ -140,7 +139,8 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 
 	info.NInsert = ar.Vecs(n)
 	info.XInsert = ar.Vecs(n)
-	frontier, notX := ar.Vec(bits), ar.Vec(bits)
+	frontier, full := ar.Vec(bits), ar.Vec(bits)
+	full.SetAll()
 	for i, b := range g.Blocks {
 		// N-INSERT: hoistable at the entry and reaching the frontier —
 		// the start node, or some predecessor whose exit is not hoistable.
@@ -149,9 +149,9 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 		if b.ID != g.Entry {
 			frontier.ClearAll()
 			for _, p := range b.Preds {
-				notX.CopyFrom(info.XHoistable[int(p)])
-				notX.Not()
-				frontier.Or(notX)
+				// frontier ∨= ¬X-HOISTABLE, without materializing the
+				// complement.
+				frontier.OrAndNot(full, info.XHoistable[int(p)])
 			}
 			ni.And(frontier)
 		}

@@ -235,17 +235,28 @@ func TryRunRestrictedWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
 		changed := removed > 0
 
 		// The session universe may carry patterns whose occurrences are all
-		// gone by now; CountPattern is 0 for those, so profitable rejects
-		// them and the stale entries are harmless.
+		// gone by now; profitableSet reports false for those (occurrence
+		// count 0), so the stale entries are harmless.
 		u, _ := s.Universe(g)
-		for _, p := range u.Patterns() {
-			if profitable(g, p) {
-				if aht.ApplyWith(g, s, func(q ir.AssignPattern) bool { return q == p }) {
-					changed = true
-				}
-				r := rae.EliminateBlocksWith(g, s)
-				st.Eliminated += r
-				changed = changed || r > 0
+		pats := u.Patterns()
+		prof := profitableSet(g, pats)
+		for i, p := range pats {
+			if !prof[i] {
+				continue
+			}
+			hoisted := aht.ApplyWith(g, s, func(q ir.AssignPattern) bool { return q == p })
+			r := rae.EliminateBlocksWith(g, s)
+			st.Eliminated += r
+			if hoisted || r > 0 {
+				changed = true
+				// The graph evolved: admission decisions for the patterns
+				// still ahead must be re-derived from the new state —
+				// hoisting one chain link can make the next one profitable
+				// within the same round (and, conversely, consume the
+				// profit of a later pattern). One batched trial per CHANGE
+				// instead of one clone per PATTERN: rounds where nothing
+				// fires cost a single trial.
+				copy(prof[i+1:], profitableSet(g, pats)[i+1:])
 			}
 		}
 		if !changed {
@@ -254,19 +265,40 @@ func TryRunRestrictedWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
 	}
 }
 
-// profitable reports whether hoisting pattern p followed by elimination
-// strictly decreases p's occurrence count — Dhamdhere's admission test.
-// The trial runs on a clone with the uncached nil-session path; sharing
-// the caller's session would rebind its caches to the throwaway graph.
-func profitable(g *ir.Graph, p ir.AssignPattern) bool {
-	trial := g.Clone()
-	before := trial.CountPattern(p)
-	if before == 0 {
-		return false
+// profitableSet computes Dhamdhere's admission test — hoisting pattern p
+// followed by elimination strictly decreases p's occurrence count — for
+// every pattern of the universe in ONE batched trial: clone g once, hoist
+// all patterns simultaneously, eliminate, and compare the per-pattern
+// (masked) occurrence counts against the originals. The per-pattern
+// hoisting analyses are independent (see aht.ApplyMasked), so the
+// combined trial observes the same per-pattern deltas as |pats| solo
+// trials would — the pin tests in restricted_pin_test.go certify batched
+// admission byte-identical to the historical per-pattern-clone version
+// across the golden corpus and a generated sweep. The trial runs on the
+// uncached nil-session path; sharing the caller's session would rebind
+// its caches to the throwaway graph.
+func profitableSet(g *ir.Graph, pats []ir.AssignPattern) []bool {
+	prof := make([]bool, len(pats))
+	before := make([]int, len(pats))
+	candidates := 0
+	for i, p := range pats {
+		before[i] = g.CountPattern(p)
+		if before[i] > 0 {
+			candidates++
+		}
 	}
-	aht.ApplyMasked(trial, func(q ir.AssignPattern) bool { return q == p })
+	if candidates == 0 {
+		return prof
+	}
+	trial := g.Clone()
+	aht.Apply(trial)
 	rae.EliminateBlocks(trial)
-	return trial.CountPattern(p) < before
+	for i, p := range pats {
+		if before[i] > 0 && trial.CountPattern(p) < before[i] {
+			prof[i] = true
+		}
+	}
+	return prof
 }
 
 // iterationLimit bounds the fixpoint loop. §4.5 shows the number of

@@ -22,7 +22,8 @@ type PatternIndex struct {
 	killByDef  map[ir.Var]bitvec.Vec
 	blockByUse map[ir.Var]bitvec.Vec
 	selfRef    bitvec.Vec
-	empty      bitvec.Vec // shared all-zero vector for absent variables
+	empty      bitvec.Vec   // shared all-zero vector for absent variables
+	singleton  []bitvec.Vec // lazily built shared {id} vectors (see GenVec)
 }
 
 // NewPatternIndex builds the index for u.
@@ -83,6 +84,30 @@ func (px *PatternIndex) killVec(in *ir.Instr) bitvec.Vec {
 		return v
 	}
 	return px.empty
+}
+
+// KillVec returns killVec(in) for callers assembling the dense gen/kill
+// form of an instruction-level problem. The vector is shared index state:
+// read-only.
+func (px *PatternIndex) KillVec(in *ir.Instr) bitvec.Vec { return px.killVec(in) }
+
+// Empty returns the shared all-zero vector (read-only), the Gen/Kill
+// entry of instructions with no effect on a problem.
+func (px *PatternIndex) Empty() bitvec.Vec { return px.empty }
+
+// GenVec returns the shared singleton vector {id} (read-only), the Gen
+// entry of an occurrence of pattern id. Built lazily: only patterns that
+// actually occur pay for a vector.
+func (px *PatternIndex) GenVec(id int) bitvec.Vec {
+	if px.singleton == nil {
+		px.singleton = make([]bitvec.Vec, px.U.Len())
+	}
+	if px.singleton[id].Len() == 0 {
+		v := bitvec.New(px.U.Len())
+		v.Set(id)
+		px.singleton[id] = v
+	}
+	return px.singleton[id]
 }
 
 // OrKill ors killVec(in) into dst.

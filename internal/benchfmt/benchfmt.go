@@ -1,0 +1,206 @@
+// Package benchfmt parses the text output of `go test -bench` into typed
+// rows and renders them in the machine-readable layout of the repo's
+// BENCH_*.json files. It exists so the benchmark numbers committed to the
+// repository (and the ones recorded by the CI bench jobs) are produced by
+// one tool instead of hand-transcribed — see cmd/benchjson.
+package benchfmt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Metric is one custom benchmark metric (b.ReportMetric): a unit name
+// that is not one of the standard per-op units, e.g. "visits" or
+// "AMiters".
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Row is one parsed benchmark result line.
+type Row struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string
+	// Procs is the stripped GOMAXPROCS suffix (1 if absent).
+	Procs int
+	// Iterations is the measured b.N.
+	Iterations int64
+	NsPerOp    float64
+	// Metrics preserves custom metrics in report order.
+	Metrics []Metric
+	// BytesPerOp/AllocsPerOp are present only with -benchmem (HasMem).
+	HasMem      bool
+	BytesPerOp  int64
+	AllocsPerOp int64
+}
+
+// Parse reads `go test -bench` output and returns the benchmark rows in
+// input order, skipping all non-benchmark lines (goos/pkg headers, PASS,
+// ok). Repeated rows from -count are all returned; see Aggregate.
+func Parse(r io.Reader) ([]Row, error) {
+	var rows []Row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name N value unit [value unit]..."; a bare
+		// "BenchmarkFoo" header line (no measurements yet) has < 4 fields.
+		if len(fields) < 4 {
+			continue
+		}
+		row := Row{Procs: 1}
+		row.Name = fields[0]
+		if i := strings.LastIndex(row.Name, "-"); i > 0 {
+			if p, err := strconv.Atoi(row.Name[i+1:]); err == nil && p > 0 {
+				row.Name, row.Procs = row.Name[:i], p
+			}
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad iteration count in %q", line)
+		}
+		row.Iterations = n
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				row.NsPerOp = val
+			case "B/op":
+				row.HasMem = true
+				row.BytesPerOp = int64(val)
+			case "allocs/op":
+				row.HasMem = true
+				row.AllocsPerOp = int64(val)
+			default:
+				row.Metrics = append(row.Metrics, Metric{Name: unit, Value: val})
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Aggregate collapses -count repeats of the same benchmark into a single
+// row per name, keeping the repeat with the minimum ns/op. The minimum is
+// the noise-robust statistic for shared-CPU hosts: external load only
+// ever inflates a measurement, so the smallest observation is the closest
+// to the true cost. Custom metrics and allocation counts are taken from
+// the same (minimum) repeat; in this repository they are deterministic
+// across repeats anyway. Input order of first appearance is preserved.
+func Aggregate(rows []Row) []Row {
+	index := make(map[string]int)
+	var out []Row
+	for _, r := range rows {
+		i, seen := index[r.Name]
+		if !seen {
+			index[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// Environment describes the measuring host.
+type Environment struct {
+	GoVersion  string
+	GOOS       string
+	GOARCH     string
+	CPU        string
+	GOMAXPROCS int
+	Note       string
+}
+
+// Doc is a full benchmark document in the BENCH_*.json layout.
+type Doc struct {
+	Description string
+	Date        string
+	Environment Environment
+	Rows        []Row
+}
+
+// MarshalJSON renders the document with the exact key order of the
+// committed BENCH_*.json files (name, iterations, nsPerOp, custom
+// metrics, bytesPerOp, allocsPerOp), which map-based marshalling would
+// alphabetize away.
+func (d Doc) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString("{\n")
+	field := func(indent, key string, val any, comma bool) {
+		b.WriteString(indent)
+		kj, _ := json.Marshal(key)
+		b.Write(kj)
+		b.WriteString(": ")
+		vj, err := json.Marshal(val)
+		if err != nil {
+			vj = []byte("null")
+		}
+		b.Write(vj)
+		if comma {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	field("  ", "description", d.Description, true)
+	field("  ", "date", d.Date, true)
+	b.WriteString("  \"environment\": {\n")
+	field("    ", "goVersion", d.Environment.GoVersion, true)
+	field("    ", "goos", d.Environment.GOOS, true)
+	field("    ", "goarch", d.Environment.GOARCH, true)
+	field("    ", "cpu", d.Environment.CPU, true)
+	field("    ", "gomaxprocs", d.Environment.GOMAXPROCS, d.Environment.Note != "")
+	if d.Environment.Note != "" {
+		field("    ", "note", d.Environment.Note, false)
+	}
+	b.WriteString("  },\n")
+	b.WriteString("  \"benchmarks\": [\n")
+	for i, r := range d.Rows {
+		b.WriteString("    {\n")
+		field("      ", "name", r.Name, true)
+		field("      ", "iterations", r.Iterations, true)
+		field("      ", "nsPerOp", jsonNumber(r.NsPerOp), r.HasMem || len(r.Metrics) > 0)
+		for j, m := range r.Metrics {
+			field("      ", m.Name, jsonNumber(m.Value), r.HasMem || j < len(r.Metrics)-1)
+		}
+		if r.HasMem {
+			field("      ", "bytesPerOp", r.BytesPerOp, true)
+			field("      ", "allocsPerOp", r.AllocsPerOp, false)
+		}
+		b.WriteString("    }")
+		if i < len(d.Rows)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  ]\n}")
+	return b.Bytes(), nil
+}
+
+// jsonNumber renders integral floats as integers (12580, not 12580.0),
+// matching the committed files.
+func jsonNumber(v float64) any {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return int64(v)
+	}
+	return v
+}

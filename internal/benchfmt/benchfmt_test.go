@@ -1,0 +1,107 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: assignmentmotion
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolverOrder/structured80/rpo-4         	     500	     14556 ns/op	         8.000 sweeps	       726.0 visits	   29904 B/op	     457 allocs/op
+BenchmarkSolverOrder/structured80/rpo-4         	     500	     16102 ns/op	         8.000 sweeps	       726.0 visits	   29904 B/op	     457 allocs/op
+BenchmarkSolverOrder/structured80/genkill-4     	     500	     12580 ns/op	         8.000 sweeps	       726.0 visits	   29896 B/op	     456 allocs/op
+BenchmarkFingerprint          	       5	    152642 ns/op
+PASS
+ok  	assignmentmotion	2.292s
+`
+
+func TestParse(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	r := rows[0]
+	if r.Name != "BenchmarkSolverOrder/structured80/rpo" || r.Procs != 4 {
+		t.Fatalf("bad name/procs: %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 500 || r.NsPerOp != 14556 {
+		t.Fatalf("bad iterations/ns: %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if !r.HasMem || r.BytesPerOp != 29904 || r.AllocsPerOp != 457 {
+		t.Fatalf("bad mem: %+v", r)
+	}
+	if len(r.Metrics) != 2 || r.Metrics[0] != (Metric{"sweeps", 8}) || r.Metrics[1] != (Metric{"visits", 726}) {
+		t.Fatalf("bad metrics: %+v", r.Metrics)
+	}
+	// A row without -benchmem and without a -procs suffix.
+	fp := rows[3]
+	if fp.Name != "BenchmarkFingerprint" || fp.Procs != 1 || fp.HasMem || len(fp.Metrics) != 0 {
+		t.Fatalf("bad plain row: %+v", fp)
+	}
+}
+
+func TestAggregateKeepsMinimum(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := Aggregate(rows)
+	if len(agg) != 3 {
+		t.Fatalf("got %d aggregated rows, want 3", len(agg))
+	}
+	if agg[0].Name != "BenchmarkSolverOrder/structured80/rpo" || agg[0].NsPerOp != 14556 {
+		t.Fatalf("aggregate did not keep the minimum repeat: %+v", agg[0])
+	}
+	if agg[1].Name != "BenchmarkSolverOrder/structured80/genkill" {
+		t.Fatalf("aggregate reordered rows: %+v", agg[1])
+	}
+}
+
+func TestMarshalDocLayout(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Doc{
+		Description: "test doc",
+		Date:        "2026-08-08",
+		Environment: Environment{
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			CPU: "Intel(R) Xeon(R) Processor @ 2.10GHz", GOMAXPROCS: 1,
+			Note: "single-core container",
+		},
+		Rows: Aggregate(rows),
+	}
+	out, err := doc.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"description": "test doc"`,
+		`"gomaxprocs": 1`,
+		`"note": "single-core container"`,
+		`"name": "BenchmarkSolverOrder/structured80/genkill"`,
+		`"nsPerOp": 12580`,
+		`"sweeps": 8`,
+		`"visits": 726`,
+		`"allocsPerOp": 457`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("marshalled doc missing %s\n%s", want, s)
+		}
+	}
+	// Key order inside a row: nsPerOp before the custom metrics, memory
+	// fields last.
+	ns := strings.Index(s, `"nsPerOp": 14556`)
+	sw := strings.Index(s, `"sweeps": 8`)
+	al := strings.Index(s, `"allocsPerOp": 457`)
+	if !(ns < sw && sw < al) {
+		t.Errorf("row key order wrong: nsPerOp@%d sweeps@%d allocsPerOp@%d", ns, sw, al)
+	}
+}

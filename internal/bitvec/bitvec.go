@@ -175,6 +175,152 @@ func (v Vec) AndNot(o Vec) bool {
 	return changed
 }
 
+// CopyAnd sets v = a ∧ b in one fused pass — the two-operand meet
+// kernel: a confluence node's first two incoming facts combine without an
+// intermediate CopyFrom sweep.
+func (v Vec) CopyAnd(a, b Vec) {
+	v.checkLen(a)
+	v.checkLen(b)
+	vw := v.words
+	for i := range vw {
+		vw[i] = a.words[i] & b.words[i]
+	}
+}
+
+// CopyOr sets v = a ∨ b in one fused pass (see CopyAnd).
+func (v Vec) CopyOr(a, b Vec) {
+	v.checkLen(a)
+	v.checkLen(b)
+	vw := v.words
+	for i := range vw {
+		vw[i] = a.words[i] | b.words[i]
+	}
+}
+
+// GenKillUpdate sets v = gen ∨ (in ∧ ¬kill) and reports whether v
+// changed. This is the entire transfer function of a gen/kill dataflow
+// problem fused into one word-parallel pass — 64 patterns per machine
+// word, no intermediate vector, change detection folded into the same
+// sweep. It is the hot loop of dataflow.Solve's dense path; v may alias
+// none of the operands' storage regions except bitwise-identically (the
+// solver passes v = out[i], which is disjoint from gen/kill/in).
+func (v Vec) GenKillUpdate(gen, in, kill Vec) bool {
+	v.checkLen(gen)
+	v.checkLen(in)
+	v.checkLen(kill)
+	changed := false
+	vw := v.words
+	for i := range vw {
+		next := gen.words[i] | (in.words[i] &^ kill.words[i])
+		if next != vw[i] {
+			changed = true
+			vw[i] = next
+		}
+	}
+	return changed
+}
+
+// OrAndNot sets v = v ∨ (a ∧ ¬b) and reports whether v changed — the
+// three-operand accumulation kernel (for example, frontier computations
+// of the form ⋃ ¬X accumulate full ∧ ¬X without materializing the
+// complement).
+func (v Vec) OrAndNot(a, b Vec) bool {
+	v.checkLen(a)
+	v.checkLen(b)
+	changed := false
+	vw := v.words
+	for i := range vw {
+		next := vw[i] | (a.words[i] &^ b.words[i])
+		if next != vw[i] {
+			changed = true
+			vw[i] = next
+		}
+	}
+	return changed
+}
+
+// MeetGenKillUpdate fuses a dataflow node's entire visit into one
+// word-parallel pass: the meet of the upstream facts
+//
+//	m = ⋀_{u ∈ ups} outs[u]   (all=true)   or   ⋁_{u ∈ ups} outs[u]
+//
+// is stored into in, and out is updated to gen ∨ (m ∧ ¬kill) with change
+// detection folded into the same sweep. ups must be non-empty. Compared
+// to a separate meet and transfer this touches every word exactly once,
+// with no intermediate vector and no per-operation length checks — it is
+// the inner loop of dataflow.Solve's dense gen/kill path. out may appear
+// among the sources (a flow self-loop): for each word the sources are
+// read before out is written, which is exactly the serial meet-then-
+// transfer order.
+func MeetGenKillUpdate(out, gen, kill, in Vec, outs []Vec, ups []int, all bool) bool {
+	out.checkLen(gen)
+	out.checkLen(kill)
+	out.checkLen(in)
+	for _, u := range ups {
+		out.checkLen(outs[u])
+	}
+	n := len(out.words)
+	if n == 0 {
+		return false
+	}
+	// One and two upstream neighbours cover almost every CFG node; those
+	// cases get dedicated loops with the slices resliced to a common
+	// length so the compiler can eliminate the bounds checks. Wider joins
+	// fall back to sequential meet passes plus one fused update.
+	ow, iw, gw, kw := out.words[:n], in.words[:n], gen.words[:n], kill.words[:n]
+	changed := false
+	switch len(ups) {
+	case 1:
+		s0 := outs[ups[0]].words[:n]
+		for w := 0; w < n; w++ {
+			m := s0[w]
+			iw[w] = m
+			next := gw[w] | (m &^ kw[w])
+			if next != ow[w] {
+				changed = true
+				ow[w] = next
+			}
+		}
+	case 2:
+		s0, s1 := outs[ups[0]].words[:n], outs[ups[1]].words[:n]
+		if all {
+			for w := 0; w < n; w++ {
+				m := s0[w] & s1[w]
+				iw[w] = m
+				next := gw[w] | (m &^ kw[w])
+				if next != ow[w] {
+					changed = true
+					ow[w] = next
+				}
+			}
+		} else {
+			for w := 0; w < n; w++ {
+				m := s0[w] | s1[w]
+				iw[w] = m
+				next := gw[w] | (m &^ kw[w])
+				if next != ow[w] {
+					changed = true
+					ow[w] = next
+				}
+			}
+		}
+	default:
+		if all {
+			in.CopyAnd(outs[ups[0]], outs[ups[1]])
+			for _, u := range ups[2:] {
+				in.And(outs[u])
+			}
+		} else {
+			in.CopyOr(outs[ups[0]], outs[ups[1]])
+			for _, u := range ups[2:] {
+				in.Or(outs[u])
+			}
+		}
+		return out.GenKillUpdate(gen, in, kill)
+	}
+	return changed
+}
+
 // Not sets v = ¬v.
 func (v Vec) Not() {
 	for i := range v.words {

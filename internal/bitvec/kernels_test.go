@@ -1,0 +1,160 @@
+package bitvec
+
+// Word-boundary tests for the fused three-operand kernels. The widths
+// exercise every boundary class: sub-word (1, 63), exactly one word (64),
+// one word plus a bit (65), and just under two words (127). Contents are
+// driven from a seeded reference model over individual bits, so every
+// (gen, in, kill) combination at every lane — including the partial last
+// word — is checked against the naive per-bit definition.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var kernelWidths = []int{1, 63, 64, 65, 127}
+
+// fill sets each bit of v with probability num/den under rng, mirroring
+// the same decisions into the model slice.
+func fill(v Vec, model []bool, rng *rand.Rand, num, den int) {
+	for i := 0; i < v.Len(); i++ {
+		b := rng.Intn(den) < num
+		v.SetTo(i, b)
+		model[i] = b
+	}
+}
+
+func checkAgainstModel(t *testing.T, tag string, v Vec, model []bool) {
+	t.Helper()
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) != model[i] {
+			t.Fatalf("%s: bit %d = %v, want %v", tag, i, v.Get(i), model[i])
+		}
+	}
+}
+
+func TestGenKillUpdateMatchesPerBitDefinition(t *testing.T) {
+	for _, n := range kernelWidths {
+		rng := rand.New(rand.NewSource(int64(n)))
+		gen, in, kill, dst := New(n), New(n), New(n), New(n)
+		mg, mi, mk, md := make([]bool, n), make([]bool, n), make([]bool, n), make([]bool, n)
+		for round := 0; round < 64; round++ {
+			fill(gen, mg, rng, 1, 3)
+			fill(in, mi, rng, 1, 2)
+			fill(kill, mk, rng, 1, 3)
+			fill(dst, md, rng, 1, 2)
+
+			wantChanged := false
+			for i := 0; i < n; i++ {
+				next := mg[i] || (mi[i] && !mk[i])
+				if next != md[i] {
+					wantChanged = true
+				}
+				md[i] = next
+			}
+			if got := dst.GenKillUpdate(gen, in, kill); got != wantChanged {
+				t.Fatalf("width %d round %d: GenKillUpdate changed=%v, want %v", n, round, got, wantChanged)
+			}
+			checkAgainstModel(t, "GenKillUpdate", dst, md)
+
+			// Idempotence: a second application from the same inputs must
+			// report no change (the solver's fixpoint test relies on it).
+			if dst.GenKillUpdate(gen, in, kill) {
+				t.Fatalf("width %d round %d: GenKillUpdate not idempotent", n, round)
+			}
+		}
+	}
+}
+
+func TestGenKillUpdateSingleBitSweep(t *testing.T) {
+	// Exhaustive single-lane sweep: for every width and every bit
+	// position, all 8 (gen, in, kill) combinations at that position.
+	for _, n := range kernelWidths {
+		for pos := 0; pos < n; pos++ {
+			for mask := 0; mask < 8; mask++ {
+				gen, in, kill, dst := New(n), New(n), New(n), New(n)
+				g, i, k := mask&1 != 0, mask&2 != 0, mask&4 != 0
+				gen.SetTo(pos, g)
+				in.SetTo(pos, i)
+				kill.SetTo(pos, k)
+				want := g || (i && !k)
+				changed := dst.GenKillUpdate(gen, in, kill)
+				if dst.Get(pos) != want {
+					t.Fatalf("width %d pos %d mask %b: got %v, want %v", n, pos, mask, dst.Get(pos), want)
+				}
+				if changed != want {
+					t.Fatalf("width %d pos %d mask %b: changed=%v, want %v (dst started zero)", n, pos, mask, changed, want)
+				}
+				if got := dst.PopCount(); got != b2i(want) {
+					t.Fatalf("width %d pos %d mask %b: popcount %d, stray bits set", n, pos, mask, got)
+				}
+			}
+		}
+	}
+}
+
+func TestOrAndNotMatchesPerBitDefinition(t *testing.T) {
+	for _, n := range kernelWidths {
+		rng := rand.New(rand.NewSource(int64(n) * 31))
+		a, b, dst := New(n), New(n), New(n)
+		ma, mb, md := make([]bool, n), make([]bool, n), make([]bool, n)
+		for round := 0; round < 64; round++ {
+			fill(a, ma, rng, 1, 2)
+			fill(b, mb, rng, 1, 3)
+			fill(dst, md, rng, 1, 2)
+
+			wantChanged := false
+			for i := 0; i < n; i++ {
+				next := md[i] || (ma[i] && !mb[i])
+				if next != md[i] {
+					wantChanged = true
+				}
+				md[i] = next
+			}
+			if got := dst.OrAndNot(a, b); got != wantChanged {
+				t.Fatalf("width %d round %d: OrAndNot changed=%v, want %v", n, round, got, wantChanged)
+			}
+			checkAgainstModel(t, "OrAndNot", dst, md)
+			if dst.OrAndNot(a, b) {
+				t.Fatalf("width %d round %d: OrAndNot not idempotent", n, round)
+			}
+		}
+	}
+}
+
+func TestKernelsKeepHighBitsClear(t *testing.T) {
+	// The unused high bits of the last word must stay zero through the
+	// kernels, or Equal/PopCount would go wrong on 1, 63, 65, 127.
+	for _, n := range kernelWidths {
+		full := NewFull(n)
+		dst := New(n)
+		dst.GenKillUpdate(full, full, New(n))
+		if dst.PopCount() != n {
+			t.Fatalf("width %d: GenKillUpdate popcount %d, want %d", n, dst.PopCount(), n)
+		}
+		if !dst.Equal(full) {
+			t.Fatalf("width %d: GenKillUpdate result != full", n)
+		}
+		dst2 := New(n)
+		dst2.OrAndNot(full, New(n))
+		if dst2.PopCount() != n || !dst2.Equal(full) {
+			t.Fatalf("width %d: OrAndNot high-bit leak", n)
+		}
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GenKillUpdate with mismatched widths did not panic")
+		}
+	}()
+	New(64).GenKillUpdate(New(64), New(63), New(64))
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -56,8 +56,29 @@ type Problem struct {
 	Succs func(i int) []int
 	// Transfer computes the node's outgoing fact from its incoming fact
 	// (in flow direction). It must be monotone; out is pre-zeroed and the
-	// function must fully define it from in and node-local data.
+	// function must fully define it from in and node-local data. When Gen
+	// is supplied, Transfer is consulted only for nodes marked Irregular
+	// (and may be nil if there are none).
 	Transfer func(i int, in, out bitvec.Vec)
+	// Gen and Kill, when non-nil (always together, each of length N),
+	// declare the transfer of node i to be the dense gen/kill form
+	//
+	//	out = Gen[i] ∨ (in ∧ ¬Kill[i])
+	//
+	// which the solver evaluates with the fused word-parallel kernel
+	// bitvec.GenKillUpdate — 64 patterns per machine word, change
+	// detection folded into the same pass, no closure dispatch and no
+	// scratch vector. Every uni-directional bit-vector analysis of the
+	// paper (Tables 1–3) has this shape. Vectors may alias shared
+	// storage (the solver only reads them).
+	Gen, Kill []bitvec.Vec
+	// Irregular, when of length N, marks nodes whose transfer is NOT pure
+	// gen/kill; the solver falls back to the Transfer closure for exactly
+	// those nodes. This is for analyses that are gen/kill almost
+	// everywhere but conditional at a few nodes — strong liveness (dce),
+	// where an assignment's generated uses depend on the incoming fact,
+	// is the resident example. Zero-length means no irregular nodes.
+	Irregular bitvec.Vec
 	// Boundary, if non-nil, overrides the incoming fact of flow-entry
 	// nodes (nodes with no upstream neighbours). When nil, such nodes get
 	// the meet identity (full for All, empty for Any) — which for All is
@@ -80,6 +101,20 @@ type Problem struct {
 	// priority order. It exists for the order-equivalence property tests
 	// and the sweep-count benchmarks; production analyses leave it false.
 	FIFO bool
+	// Workers > 1 enables intra-graph parallel solving: the flow graph is
+	// condensed into strongly connected components ordered by a weak
+	// topological order, and components whose upstream components have
+	// completed are solved concurrently on a bounded worker pool (see
+	// parallel.go). The fixpoint is identical to the serial solve — the
+	// transfer functions are monotone, so the greatest/least fixpoint is
+	// unique under any fair schedule — and the merge is deterministic.
+	// Requires Preds/Succs/Transfer/Boundary to be safe for concurrent
+	// calls (pure functions over read-only captures, which every analysis
+	// in this module satisfies). Ignored in FIFO mode. The threshold
+	// policy for when parallelism pays lives with the callers
+	// (analysis.Session.SolverWorkersFor); the solver itself obeys
+	// whatever it is told.
+	Workers int
 	// Stats, if non-nil, accumulates this solve's work counters into the
 	// given tally. Analyses running under an analysis.Session point this at
 	// the session's tally so the pass pipeline can report per-pass solver
@@ -145,6 +180,7 @@ func FlowOrder(n int, roots []int, next func(int) []int) []int {
 	type frame struct {
 		node int
 		edge int
+		ns   []int // cached next(node): a frame is resumed once per child
 	}
 	stack := make([]frame, 0, 16)
 	visit := func(root int) {
@@ -152,22 +188,21 @@ func FlowOrder(n int, roots []int, next func(int) []int) []int {
 			return
 		}
 		state[root] = 1
-		stack = append(stack, frame{node: root})
+		stack = append(stack, frame{node: root, ns: next(root)})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			ns := next(f.node)
 			advanced := false
-			for f.edge < len(ns) {
-				m := ns[f.edge]
+			for f.edge < len(f.ns) {
+				m := f.ns[f.edge]
 				f.edge++
 				if state[m] == 0 {
 					state[m] = 1
-					stack = append(stack, frame{node: m})
+					stack = append(stack, frame{node: m, ns: next(m)})
 					advanced = true
 					break
 				}
 			}
-			if !advanced && f.edge >= len(ns) {
+			if !advanced && f.edge >= len(f.ns) {
 				state[f.node] = 2
 				order = append(order, f.node)
 				stack = stack[:len(stack)-1]
@@ -187,8 +222,89 @@ func FlowOrder(n int, roots []int, next func(int) []int) []int {
 	return order
 }
 
+// meet computes node i's incoming fact from its upstream neighbours'
+// outgoing facts: copy the first, then intersect/union the rest — one
+// pass fewer than resetting to the identity first. Flow-entry nodes get
+// the meet identity, overridable by Boundary.
+func (p *Problem) meet(i int, in, out []bitvec.Vec, upstream func(int) []int) {
+	ups := upstream(i)
+	if len(ups) == 0 {
+		if p.Meet == All {
+			in[i].SetAll()
+		} else {
+			in[i].ClearAll()
+		}
+		if p.Boundary != nil {
+			p.Boundary(i, in[i])
+		}
+		return
+	}
+	if len(ups) == 1 {
+		in[i].CopyFrom(out[ups[0]])
+		return
+	}
+	// Two or more incoming facts: fuse the first two into one pass, then
+	// fold in the rest.
+	if p.Meet == All {
+		in[i].CopyAnd(out[ups[0]], out[ups[1]])
+		for _, u := range ups[2:] {
+			in[i].And(out[u])
+		}
+	} else {
+		in[i].CopyOr(out[ups[0]], out[ups[1]])
+		for _, u := range ups[2:] {
+			in[i].Or(out[u])
+		}
+	}
+}
+
+// genKillAt reports whether node i's transfer is evaluated on the dense
+// gen/kill path.
+func (p *Problem) genKillAt(i int) bool {
+	return p.Gen != nil && (p.Irregular.Len() == 0 || !p.Irregular.Get(i))
+}
+
+// applyNode meets node i's inputs, runs the transfer, and reports
+// whether the outgoing fact changed. On the dense path the whole visit —
+// meet, in-fact store, gen/kill transfer, change detection — is one
+// fused word-parallel sweep (bitvec.MeetGenKillUpdate); flow-entry nodes
+// and irregular/closure nodes take the separate meet + transfer route
+// with the caller's scratch vector.
+func (p *Problem) applyNode(i int, in, out []bitvec.Vec, upstream func(int) []int, scratch bitvec.Vec) bool {
+	if p.genKillAt(i) {
+		if ups := upstream(i); len(ups) > 0 {
+			return bitvec.MeetGenKillUpdate(out[i], p.Gen[i], p.Kill[i], in[i], out, ups, p.Meet == All)
+		}
+		p.meet(i, in, out, upstream) // meet identity + Boundary
+		return out[i].GenKillUpdate(p.Gen[i], in[i], p.Kill[i])
+	}
+	p.meet(i, in, out, upstream)
+	scratch.ClearAll()
+	p.Transfer(i, in[i], scratch)
+	if scratch.Equal(out[i]) {
+		return false
+	}
+	out[i].CopyFrom(scratch)
+	return true
+}
+
+// validate panics on malformed problem wiring — which in this code base
+// always indicates a programming error, never bad input.
+func (p *Problem) validate() {
+	if (p.Gen == nil) != (p.Kill == nil) {
+		panic("dataflow: Gen and Kill must be supplied together")
+	}
+	if p.Gen != nil && (len(p.Gen) != p.N || len(p.Kill) != p.N) {
+		panic("dataflow: Gen/Kill length differs from N")
+	}
+	if p.Gen == nil && p.Transfer == nil {
+		panic("dataflow: neither Gen/Kill nor Transfer supplied")
+	}
+}
+
 // Solve runs the worklist algorithm to the fixpoint.
 func Solve(p Problem) Result {
+	p.validate()
 	upstream, downstream := p.Preds, p.Succs
 	if p.Dir == Backward {
 		upstream, downstream = p.Succs, p.Preds
@@ -197,12 +313,28 @@ func Solve(p Problem) Result {
 	ar := p.Arena
 	in := ar.Vecs(p.N)
 	out := ar.Vecs(p.N)
-	for i := 0; i < p.N; i++ {
-		in[i] = ar.Vec(p.Bits)
-		out[i] = ar.Vec(p.Bits)
-		if p.Meet == All {
-			// Greatest fixpoint: start optimistic and shrink, so facts
-			// around cycles are not lost.
+	if ar == nil {
+		// No arena: carve every vector out of one flat allocation instead
+		// of 2N tiny ones — without this the solver's fixed cost is
+		// dominated by the makes, not the sweeps.
+		words := bitvec.WordsFor(p.Bits)
+		backing := make([]uint64, 2*p.N*words)
+		for i := 0; i < p.N; i++ {
+			in[i] = bitvec.Wrap(p.Bits, backing[:words:words])
+			backing = backing[words:]
+			out[i] = bitvec.Wrap(p.Bits, backing[:words:words])
+			backing = backing[words:]
+		}
+	} else {
+		for i := 0; i < p.N; i++ {
+			in[i] = ar.Vec(p.Bits)
+			out[i] = ar.Vec(p.Bits)
+		}
+	}
+	if p.Meet == All {
+		// Greatest fixpoint: start optimistic and shrink, so facts around
+		// cycles are not lost.
+		for i := 0; i < p.N; i++ {
 			in[i].SetAll()
 			out[i].SetAll()
 		}
@@ -219,42 +351,18 @@ func Solve(p Problem) Result {
 		order = FlowOrder(p.N, roots, downstream)
 	}
 
-	scratch := ar.Vec(p.Bits)
+	if p.Workers > 1 && !p.FIFO {
+		return solveParallel(&p, in, out, order, upstream, downstream)
+	}
+
+	var scratch bitvec.Vec
+	if p.Gen == nil || p.Irregular.Len() != 0 {
+		scratch = ar.Vec(p.Bits)
+	}
 	visits := 0
-	// apply meets node i's inputs, runs the transfer, and reports whether
-	// the outgoing fact changed.
 	apply := func(i int) bool {
 		visits++
-		ups := upstream(i)
-		if len(ups) == 0 {
-			if p.Meet == All {
-				in[i].SetAll()
-			} else {
-				in[i].ClearAll()
-			}
-			if p.Boundary != nil {
-				p.Boundary(i, in[i])
-			}
-		} else {
-			if p.Meet == All {
-				in[i].SetAll()
-				for _, u := range ups {
-					in[i].And(out[u])
-				}
-			} else {
-				in[i].ClearAll()
-				for _, u := range ups {
-					in[i].Or(out[u])
-				}
-			}
-		}
-		scratch.ClearAll()
-		p.Transfer(i, in[i], scratch)
-		if scratch.Equal(out[i]) {
-			return false
-		}
-		out[i].CopyFrom(scratch)
-		return true
+		return p.applyNode(i, in, out, upstream, scratch)
 	}
 
 	if p.FIFO || order == nil {
@@ -293,24 +401,27 @@ func Solve(p Problem) Result {
 	// sweep is picked up in place; one earlier (a back edge) waits for the
 	// next sweep. An acyclic graph in topological order converges in a
 	// single sweep.
-	dirty := ar.Vec(p.N)
-	for i := 0; i < p.N; i++ {
-		dirty.Set(i)
+	// The dirty set is a flat byte array, not a bit vector: the sweep loop
+	// tests membership once per node per sweep and the plain load/store
+	// beats bit arithmetic on that path.
+	dirty := make([]bool, p.N)
+	for i := range dirty {
+		dirty[i] = true
 	}
 	pending := p.N
 	sweeps := 0
 	for pending > 0 {
 		sweeps++
 		for _, i := range order {
-			if !dirty.Get(i) {
+			if !dirty[i] {
 				continue
 			}
-			dirty.Clear(i)
+			dirty[i] = false
 			pending--
 			if apply(i) {
 				for _, d := range downstream(i) {
-					if !dirty.Get(d) {
-						dirty.Set(d)
+					if !dirty[d] {
+						dirty[d] = true
 						pending++
 					}
 				}

@@ -1,0 +1,222 @@
+package dataflow
+
+import (
+	"sort"
+
+	"assignmentmotion/internal/bitvec"
+)
+
+// This file implements the intra-graph parallel solve behind
+// Problem.Workers. The flow graph is condensed into strongly connected
+// components; the condensation is a DAG, so components form a weak
+// topological order: inside a component chaotic iteration runs to a local
+// fixpoint, and a component is only scheduled once every upstream
+// component has finished. Components with no unfinished upstream are
+// independent and solved concurrently on a bounded worker pool.
+//
+// Correctness relies on two facts. First, the transfer functions are
+// monotone over a finite lattice and iteration starts from the lattice
+// top (full vectors for All, empty for Any), so the fixpoint is unique
+// under any fair schedule — the parallel solve computes bit-identical
+// In/Out to the serial sweep. Second, a node's vectors are written only
+// by the single worker solving its component, and cross-component reads
+// (the meet over upstream facts) observe finished components through the
+// scheduler's channel handoff, which establishes the happens-before edge
+// — the solve is -race-clean without any locks on the vectors.
+//
+// The merge is deterministic: per-component visit counts depend only on
+// the (unique) upstream fixpoint, so their sum is schedule-independent,
+// and Sweeps reports the maximum local sweep count over all components —
+// the depth of the most stubborn cycle, the parallel analogue of the
+// serial sweep counter.
+
+// condense runs an iterative Tarjan SCC over the n-node graph spanned by
+// next. It returns the component id of every node and the component
+// member lists. Components are emitted in reverse topological order of
+// the condensation (a component only after everything it reaches).
+func condense(n int, next func(int) []int) (sccOf []int, comps [][]int) {
+	sccOf = make([]int, n)
+	index := make([]int, n) // 0 = unvisited, else discovery index + 1
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	stack := make([]int, 0, n)
+	type frame struct {
+		node int
+		edge int
+	}
+	frames := make([]frame, 0, 16)
+	idx := 1
+	for r := 0; r < n; r++ {
+		if index[r] != 0 {
+			continue
+		}
+		index[r], low[r] = idx, idx
+		idx++
+		stack = append(stack, r)
+		onStack[r] = true
+		frames = append(frames, frame{node: r})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			ns := next(f.node)
+			if f.edge < len(ns) {
+				m := ns[f.edge]
+				f.edge++
+				if index[m] == 0 {
+					index[m], low[m] = idx, idx
+					idx++
+					stack = append(stack, m)
+					onStack[m] = true
+					frames = append(frames, frame{node: m})
+				} else if onStack[m] && index[m] < low[f.node] {
+					low[f.node] = index[m]
+				}
+				continue
+			}
+			node := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[node] < low[parent] {
+					low[parent] = low[node]
+				}
+			}
+			if low[node] == index[node] {
+				var comp []int
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					sccOf[m] = len(comps)
+					comp = append(comp, m)
+					if m == node {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return sccOf, comps
+}
+
+// compResult is one finished component's contribution to the merge.
+type compResult struct {
+	comp   int
+	visits int
+	sweeps int
+}
+
+// solveParallel is the Workers > 1 branch of Solve. in/out are already
+// carved (serially) from the problem's arena and initialised to the
+// lattice top; order is the flow-direction RPO permutation.
+func solveParallel(p *Problem, in, out []bitvec.Vec, order []int, upstream, downstream func(int) []int) Result {
+	sccOf, comps := condense(p.N, downstream)
+
+	// Order each component's members by RPO position so the local sweeps
+	// converge as fast as the serial solver's.
+	pos := make([]int, p.N)
+	for i, node := range order {
+		pos[node] = i
+	}
+	for _, comp := range comps {
+		sort.Slice(comp, func(a, b int) bool { return pos[comp[a]] < pos[comp[b]] })
+	}
+
+	// Condensation DAG: deduped downstream edges and indegrees.
+	nc := len(comps)
+	succs := make([][]int, nc)
+	indeg := make([]int, nc)
+	lastSeen := make([]int, nc)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	for c, comp := range comps {
+		for _, node := range comp {
+			for _, d := range downstream(node) {
+				dc := sccOf[d]
+				if dc == c || lastSeen[dc] == c {
+					continue
+				}
+				lastSeen[dc] = c
+				succs[c] = append(succs[c], dc)
+				indeg[dc]++
+			}
+		}
+	}
+
+	workers := p.Workers
+	if workers > nc {
+		workers = nc
+	}
+
+	ready := make(chan int, nc)
+	done := make(chan compResult, nc)
+	// Seed the roots in topological order (Tarjan emits reverse-topo).
+	for c := nc - 1; c >= 0; c-- {
+		if indeg[c] == 0 {
+			ready <- c
+		}
+	}
+
+	needScratch := p.Gen == nil || p.Irregular.Len() != 0
+	for w := 0; w < workers; w++ {
+		go func() {
+			// Worker-local scratch lives on the heap: the session arena is
+			// not goroutine-safe, and in/out were carved before we started.
+			var scratch bitvec.Vec
+			if needScratch {
+				scratch = bitvec.New(p.Bits)
+			}
+			dirty := make([]bool, p.N)
+			for c := range ready {
+				members := comps[c]
+				for _, i := range members {
+					dirty[i] = true
+				}
+				pending := len(members)
+				visits, sweeps := 0, 0
+				for pending > 0 {
+					sweeps++
+					for _, i := range members {
+						if !dirty[i] {
+							continue
+						}
+						dirty[i] = false
+						pending--
+						visits++
+						if p.applyNode(i, in, out, upstream, scratch) {
+							for _, d := range downstream(i) {
+								if sccOf[d] == c && !dirty[d] {
+									dirty[d] = true
+									pending++
+								}
+							}
+						}
+					}
+				}
+				done <- compResult{comp: c, visits: visits, sweeps: sweeps}
+			}
+		}()
+	}
+
+	// Coordinate on the caller goroutine: collect finished components,
+	// release their downstream components as indegrees drain.
+	visits, maxSweeps := 0, 0
+	for remaining := nc; remaining > 0; remaining-- {
+		r := <-done
+		visits += r.visits
+		if r.sweeps > maxSweeps {
+			maxSweeps = r.sweeps
+		}
+		for _, s := range succs[r.comp] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready <- s
+			}
+		}
+	}
+	close(ready)
+
+	p.Stats.record(visits, maxSweeps)
+	return Result{In: in, Out: out, Visits: visits, Sweeps: maxSweeps}
+}

@@ -77,25 +77,42 @@ func runOnce(g *ir.Graph, s *analysis.Session) int {
 
 	// Observable uses (out, cond) unconditionally generate liveness;
 	// an assignment w := t generates liveness of t's variables only when
-	// w itself is strongly live after it.
+	// w itself is strongly live after it. That condition makes strong
+	// liveness non-separable: defining instructions are NOT pure gen/kill
+	// (their gen depends on the incoming fact), so they are marked
+	// Irregular and keep the closure transfer, while every other
+	// instruction runs on the dense kernel with Gen = obsUse and an empty
+	// Kill.
 	obsUse := ar.Vecs(n)
+	kill := ar.Vecs(n)
+	emptyKill := ar.Vec(bits)
+	irregular := ar.Vec(n)
 	for i := 0; i < n; i++ {
 		obsUse[i] = ar.Vec(bits)
+		kill[i] = emptyKill
 		in := prog.Ins[i]
 		if in.Kind == ir.KindOut || in.Kind == ir.KindCond {
 			for _, v := range in.Uses(nil) {
 				obsUse[i].Set(index[v])
 			}
 		}
+		if _, ok := in.Defs(); ok {
+			irregular.Set(i)
+		}
 	}
 
 	res := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
 		Preds: prog.Preds, Succs: prog.Succs,
-		Arena: ar,
-		Stats: s.DataflowStats(),
+		Arena:     ar,
+		Stats:     s.DataflowStats(),
+		Workers:   s.SolverWorkersFor(n),
+		Gen:       obsUse,
+		Kill:      kill,
+		Irregular: irregular,
 		// Backward: solver "in" is strong liveness at the instruction
-		// exit, "out" at its entry.
+		// exit, "out" at its entry. Consulted only at Irregular
+		// (defining) instructions.
 		Transfer: func(i int, in, out bitvec.Vec) {
 			out.CopyFrom(in)
 			ins := prog.Ins[i]

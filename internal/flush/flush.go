@@ -119,18 +119,25 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 	}
 	info.isInst, info.used, info.blocked = isInst, used, blocked
 
+	// Delayability in gen/kill form: X-DELAYABLE = IS-INST ∨
+	// (N-DELAYABLE ∧ ¬(USED ∨ BLOCKED)); the combined kill vector is
+	// materialized once per instruction.
+	stopKill := ar.Vecs(n)
+	for i := 0; i < n; i++ {
+		stopKill[i] = ar.Vec(bits)
+		stopKill[i].CopyFrom(used[i])
+		stopKill[i].Or(blocked[i])
+	}
+
 	entry := prog.EntryIndex()
 	delay := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
 		Preds: prog.Preds, Succs: prog.Succs,
-		Arena: ar,
-		Stats: s.DataflowStats(),
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			out.AndNot(used[i])
-			out.AndNot(blocked[i])
-			out.Or(isInst[i])
-		},
+		Arena:   ar,
+		Stats:   s.DataflowStats(),
+		Workers: s.SolverWorkersFor(n),
+		Gen:     isInst,
+		Kill:    stopKill,
 		Boundary: func(i int, in bitvec.Vec) {
 			if i == entry {
 				in.ClearAll()
@@ -139,18 +146,17 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 	})
 	info.NDelayable, info.XDelayable = delay.In, delay.Out
 
+	// Usability in gen/kill form. Backward: solver "in" is the fact at the
+	// instruction's exit (X-USABLE), "out" at its entry (N-USABLE) =
+	// USED ∨ (X-USABLE ∧ ¬IS-INST).
 	use := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
 		Preds: prog.Preds, Succs: prog.Succs,
-		Arena: ar,
-		Stats: s.DataflowStats(),
-		// Backward: solver "in" is the fact at the instruction's exit
-		// (X-USABLE), "out" at its entry (N-USABLE).
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			out.AndNot(isInst[i])
-			out.Or(used[i])
-		},
+		Arena:   ar,
+		Stats:   s.DataflowStats(),
+		Workers: s.SolverWorkersFor(n),
+		Gen:     used,
+		Kill:    isInst,
 	})
 	info.XUsable, info.NUsable = use.In, use.Out
 

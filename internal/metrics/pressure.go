@@ -43,16 +43,13 @@ func MaxTempPressure(g *ir.Graph) int {
 		}
 	}
 
+	// Backward: solver "in" is liveness at the instruction exit, "out" at
+	// its entry = use ∨ (in ∧ ¬def), the dense gen/kill form.
 	res := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Backward, Meet: dataflow.Any,
 		Preds: prog.Preds, Succs: prog.Succs,
-		// Backward: solver "in" is liveness at the instruction exit,
-		// "out" at its entry.
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			out.AndNot(def[i])
-			out.Or(use[i])
-		},
+		Gen:  use,
+		Kill: def,
 	})
 
 	max := 0

@@ -111,16 +111,15 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 	entry := int(g.Entry)
 	res := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
-		Preds: func(i int) []int { return nodeIDs(g.Blocks[i].Preds) },
-		Succs: func(i int) []int { return nodeIDs(g.Blocks[i].Succs) },
-		Stats: s.DataflowStats(),
+		Preds:   func(i int) []int { return nodeIDs(g.Blocks[i].Preds) },
+		Succs:   func(i int) []int { return nodeIDs(g.Blocks[i].Succs) },
+		Stats:   s.DataflowStats(),
+		Workers: s.SolverWorkersFor(n),
 		// Forward: solver "in" is the fact at the block entry
-		// (N-SINKABLE), "out" at its exit (X-SINKABLE).
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			out.AndNot(info.LocBlocked[i])
-			out.Or(info.LocSinkable[i])
-		},
+		// (N-SINKABLE), "out" at its exit (X-SINKABLE) = LOC-SINKABLE ∨
+		// (N-SINKABLE ∧ ¬LOC-BLOCKED), the dense gen/kill form.
+		Gen:  info.LocSinkable,
+		Kill: info.LocBlocked,
 		Boundary: func(i int, in bitvec.Vec) {
 			if i == entry {
 				in.ClearAll()
@@ -132,6 +131,7 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 
 	info.NInsert = make([]bitvec.Vec, n)
 	info.XInsert = make([]bitvec.Vec, n)
+	full := bitvec.NewFull(bits)
 	for i, b := range g.Blocks {
 		ni := info.NSinkable[i].Copy()
 		ni.And(info.LocBlocked[i])
@@ -141,9 +141,9 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 		if b.ID != g.Exit {
 			frontier := bitvec.New(bits)
 			for _, m := range b.Succs {
-				notN := info.NSinkable[int(m)].Copy()
-				notN.Not()
-				frontier.Or(notN)
+				// frontier ∨= ¬N-SINKABLE without materializing the
+				// complement.
+				frontier.OrAndNot(full, info.NSinkable[int(m)])
 			}
 			xi.And(frontier)
 		}

@@ -66,16 +66,14 @@ func EliminateBlocksWith(g *ir.Graph, s *analysis.Session) int {
 	entry := int(g.Entry)
 	res := dataflow.Solve(dataflow.Problem{
 		N: n, Bits: bits, Dir: dataflow.Forward, Meet: dataflow.All,
-		Preds: bv.Preds,
-		Succs: bv.Succs,
-		Order: bv.FwdOrder,
-		Arena: ar,
-		Stats: s.DataflowStats(),
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			out.AndNot(kill[i])
-			out.Or(gen[i])
-		},
+		Preds:   bv.Preds,
+		Succs:   bv.Succs,
+		Order:   bv.FwdOrder,
+		Arena:   ar,
+		Stats:   s.DataflowStats(),
+		Workers: s.SolverWorkersFor(n),
+		Gen:     gen,
+		Kill:    kill,
 		Boundary: func(i int, in bitvec.Vec) {
 			if i == entry {
 				in.ClearAll()

@@ -51,35 +51,37 @@ func AnalyzeWith(g *ir.Graph, s *analysis.Session) *Info {
 	ar := s.Arena()
 	n, bits := prog.Len(), u.Len()
 
-	// Per-instruction GEN (the occurrence's own pattern, unless
-	// self-referential) as a single bit index; transparency is applied via
-	// the index's shared kill vectors.
-	genID := ar.Ints(n)
+	// Dense gen/kill form: GEN is the occurrence's own pattern (unless
+	// self-referential) as a shared singleton vector, KILL the index's
+	// shared per-definition kill vector — X-REDUNDANT = GEN ∨
+	// (N-REDUNDANT ∧ ASS-TRANSP). GEN winning over KILL in the fused
+	// kernel is exactly the availability reading: an occurrence kills its
+	// own pattern's transparency but re-generates it.
+	gen := ar.Vecs(n)
+	kill := ar.Vecs(n)
 	selfRef := px.SelfRef()
 	for i := 0; i < n; i++ {
-		genID[i] = -1
-		if id, ok := px.OccID(&prog.Ins[i]); ok && !selfRef.Get(id) {
-			genID[i] = id
+		in := &prog.Ins[i]
+		kill[i] = px.KillVec(in)
+		gen[i] = px.Empty()
+		if id, ok := px.OccID(in); ok && !selfRef.Get(id) {
+			gen[i] = px.GenVec(id)
 		}
 	}
 
 	entry := prog.EntryIndex()
 	res := dataflow.Solve(dataflow.Problem{
-		N:     n,
-		Bits:  bits,
-		Dir:   dataflow.Forward,
-		Meet:  dataflow.All,
-		Preds: prog.Preds,
-		Succs: prog.Succs,
-		Arena: ar,
-		Stats: s.DataflowStats(),
-		Transfer: func(i int, in, out bitvec.Vec) {
-			out.CopyFrom(in)
-			px.AndNotKill(&prog.Ins[i], out)
-			if genID[i] >= 0 {
-				out.Set(genID[i])
-			}
-		},
+		N:       n,
+		Bits:    bits,
+		Dir:     dataflow.Forward,
+		Meet:    dataflow.All,
+		Preds:   prog.Preds,
+		Succs:   prog.Succs,
+		Arena:   ar,
+		Stats:   s.DataflowStats(),
+		Workers: s.SolverWorkersFor(n),
+		Gen:     gen,
+		Kill:    kill,
 		Boundary: func(i int, in bitvec.Vec) {
 			if i == entry {
 				in.ClearAll()
