@@ -25,6 +25,10 @@
 //	-max-batch N                 programs per batch request (0 = 1024)
 //	-drain-timeout D             how long SIGTERM waits for in-flight
 //	                             requests before forcing exit
+//	-incremental                 region-granular incremental
+//	                             re-optimization: a resubmitted program
+//	                             edited inside one region replays only
+//	                             that region (default true)
 //
 // Endpoints: POST /v1/optimize, POST /v1/optimize/batch (NDJSON stream),
 // GET /v1/passes, GET /healthz, GET /metrics (Prometheus text format).
@@ -75,6 +79,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxBody       = fs.Int64("max-body", 0, "request body limit in bytes (0 = 8 MiB)")
 		maxBatch      = fs.Int("max-batch", 0, "programs per batch request (0 = 1024)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain window for in-flight requests")
+		incremental   = fs.Bool("incremental", true, "region-granular incremental re-optimization of edited programs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -97,6 +102,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		MaxDeadline:     *maxDeadline,
 		MaxBodyBytes:    *maxBody,
 		MaxBatch:        *maxBatch,
+		Incremental:     *incremental,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "amoptd: %v\n", err)

@@ -184,12 +184,36 @@ func ApplyMasked(g *ir.Graph, mask func(ir.AssignPattern) bool) bool {
 	return ApplyWith(g, nil, mask)
 }
 
+// OrderedIDs returns the pattern IDs set in v in the order the
+// insertion step would place them (first occurrence in the analyzed
+// graph, see occRank). The incremental recorder serializes insertion
+// sequences with it.
+func (info *Info) OrderedIDs(v bitvec.Vec) []int {
+	ids := v.Bits()
+	rank := info.occRank
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && rank[ids[j]] < rank[ids[j-1]]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
 // ApplyWith is ApplyMasked running against session s: the pattern universe
 // and iteration orders are reused across rounds and all analysis storage
 // comes from the session's arena, which is rewound before returning — one
 // warmed-up hoisting round allocates almost nothing. The change report is
 // precise (per-block instruction comparison), not an Encode round trip.
 func ApplyWith(g *ir.Graph, s *analysis.Session, mask func(ir.AssignPattern) bool) bool {
+	return ApplyObservedWith(g, s, mask, nil, nil)
+}
+
+// ApplyObservedWith is ApplyWith with observation hooks for the
+// incremental recorder: onInfo fires after the analysis (and masking),
+// before any mutation — the Info's vectors live in the session arena and
+// must be copied, not retained; onDone fires after the rewrite with the
+// per-block change flags the aggregate report is derived from.
+func ApplyObservedWith(g *ir.Graph, s *analysis.Session, mask func(ir.AssignPattern) bool, onInfo func(*Info), onDone func(changedBlocks []bool)) bool {
 	ar := s.Arena()
 	m := ar.Mark()
 	defer ar.Release(m)
@@ -207,6 +231,9 @@ func ApplyWith(g *ir.Graph, s *analysis.Session, mask func(ir.AssignPattern) boo
 			info.NInsert[i].And(keep)
 			info.XInsert[i].And(keep)
 		}
+	}
+	if onInfo != nil {
+		onInfo(info)
 	}
 
 	// Collect per-block prepends. Exit-inserts of branch nodes become
@@ -238,6 +265,10 @@ func ApplyWith(g *ir.Graph, s *analysis.Session, mask func(ir.AssignPattern) boo
 	}
 
 	changed := false
+	var changedBlocks []bool
+	if onDone != nil {
+		changedBlocks = make([]bool, len(g.Blocks))
+	}
 	for i, b := range g.Blocks {
 		// Untouched block: nothing to insert, no candidate to remove.
 		if len(prepend[i]) == 0 && len(appendAtEnd[i]) == 0 && !info.LocHoistable[i].Any() {
@@ -258,10 +289,16 @@ func ApplyWith(g *ir.Graph, s *analysis.Session, mask func(ir.AssignPattern) boo
 		next = append(next, appendAtEnd[i]...)
 		if !sameInstrs(next, b.Instrs) {
 			changed = true
+			if changedBlocks != nil {
+				changedBlocks[i] = true
+			}
 		}
 		b.Instrs = next
 	}
 	g.Normalize()
+	if onDone != nil {
+		onDone(changedBlocks)
+	}
 	return changed
 }
 

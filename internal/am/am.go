@@ -25,6 +25,7 @@ package am
 import (
 	"assignmentmotion/internal/aht"
 	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bitvec"
 	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/pass"
@@ -94,6 +95,30 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 	return st
 }
 
+// Hooks observe one exhaustive AM fixpoint from the inside, round by
+// round — the seam the incremental recorder uses to capture boundary
+// dataflow facts and per-region change signals without perturbing the
+// run. Every field is optional. Vectors handed to the hooks live in the
+// session arena and are only valid for the duration of the call.
+type Hooks struct {
+	// Begin fires once, after critical edges are split and before the
+	// first round — the post-initialization state region digests and the
+	// pattern universe snapshot are taken from.
+	Begin func(g *ir.Graph, s *analysis.Session)
+	// BeginRound fires at the start of round k (1-based).
+	BeginRound func(k int)
+	// HoistInfo receives the hoisting analysis before the rewrite.
+	HoistInfo func(g *ir.Graph, info *aht.Info)
+	// HoistDone receives per-block change flags after the rewrite.
+	HoistDone func(g *ir.Graph, changedBlocks []bool)
+	// ElimSolve receives the availability solve before the removal walk.
+	ElimSolve func(g *ir.Graph, px *analysis.PatternIndex, availIn, availOut []bitvec.Vec)
+	// ElimDone receives per-block removal counts after the walk.
+	ElimDone func(g *ir.Graph, removedByBlock []int)
+	// End fires once at the fixpoint, on success only.
+	End func(g *ir.Graph, st Stats)
+}
+
 // TryRunWith is the fallible core of the assignment-motion phase. An
 // iteration-limit overrun returns a *fault.NoFixpointError; an exhausted
 // session budget or a canceled session context returns the corresponding
@@ -102,8 +127,21 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 // complete admissible transformation, so stopping between rounds never
 // corrupts the program (it is merely not optimal yet).
 func TryRunWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
+	return TryRunObservedWith(g, s, nil)
+}
+
+// TryRunObservedWith is TryRunWith reporting each round's analyses and
+// rewrites to h (nil for the unobserved path). The observed run is
+// byte-identical to the unobserved one — the hooks only read.
+func TryRunObservedWith(g *ir.Graph, s *analysis.Session, h *Hooks) (Stats, error) {
+	if h == nil {
+		h = &Hooks{}
+	}
 	var st Stats
 	st.SplitEdges = g.SplitCriticalEdges()
+	if h.Begin != nil {
+		h.Begin(g, s)
+	}
 	limit := iterationLimit(g)
 	for {
 		st.Iterations++
@@ -115,13 +153,35 @@ func TryRunWith(g *ir.Graph, s *analysis.Session) (Stats, error) {
 			st.Iterations--
 			return st, err
 		}
-		hoisted := aht.ApplyWith(g, s, nil)
-		removed := rae.EliminateBlocksWith(g, s)
+		if h.BeginRound != nil {
+			h.BeginRound(st.Iterations)
+		}
+		var onInfo func(*aht.Info)
+		var onHoistDone func([]bool)
+		if h.HoistInfo != nil {
+			onInfo = func(info *aht.Info) { h.HoistInfo(g, info) }
+		}
+		if h.HoistDone != nil {
+			onHoistDone = func(changed []bool) { h.HoistDone(g, changed) }
+		}
+		hoisted := aht.ApplyObservedWith(g, s, nil, onInfo, onHoistDone)
+		var onSolve func(*analysis.PatternIndex, []bitvec.Vec, []bitvec.Vec)
+		var onElimDone func([]int)
+		if h.ElimSolve != nil {
+			onSolve = func(px *analysis.PatternIndex, in, out []bitvec.Vec) { h.ElimSolve(g, px, in, out) }
+		}
+		if h.ElimDone != nil {
+			onElimDone = func(removed []int) { h.ElimDone(g, removed) }
+		}
+		removed := rae.EliminateBlocksObservedWith(g, s, onSolve, onElimDone)
 		st.Eliminated += removed
 		// aht's report is textual-change-precise and rae only deletes, so a
 		// hoisting round can never be silently undone by the elimination
 		// that follows it: no change in either procedure is the fixpoint.
 		if !hoisted && removed == 0 {
+			if h.End != nil {
+				h.End(g, st)
+			}
 			return st, nil
 		}
 	}

@@ -51,6 +51,10 @@ type Session struct {
 	orderStruct uint64
 	orderValid  bool
 
+	regions       *ir.RegionSet
+	regionsStruct uint64
+	regionsValid  bool
+
 	solverWorkers int
 }
 
@@ -301,11 +305,56 @@ func (s *Session) Blocks(g *ir.Graph) BlockView {
 	}
 }
 
+// UniverseDelta is Universe for a caller that knows which blocks changed
+// since the last sync: the resync scans only those blocks instead of the
+// whole graph, keying the cache per region rather than per graph
+// version. The contract mirrors ir.PatternSet.AddFromBlocks — every
+// block outside changed must be textually unchanged since the session
+// last synced with g. On a nil session or an unbound graph it degrades
+// to the full Universe scan.
+func (s *Session) UniverseDelta(g *ir.Graph, changed []ir.NodeID) (*ir.PatternSet, *PatternIndex) {
+	if s == nil || s.g != g || !s.uValid {
+		return s.Universe(g)
+	}
+	if v := g.Version(); v != s.uVersion {
+		bs := make([]*ir.Block, len(changed))
+		for i, id := range changed {
+			bs[i] = g.Block(id)
+		}
+		if s.u.AddFromBlocks(bs) {
+			s.px = NewPatternIndex(s.u)
+		}
+		s.uVersion = v
+	}
+	return s.u, s.px
+}
+
+// Regions returns the deterministic region decomposition of g, cached
+// until the graph's block/edge structure changes. Instruction-level
+// edits (everything a motion round does) keep the decomposition valid;
+// only structural mutation invalidates it — so an edit re-keys one
+// region's analysis state, not the session.
+func (s *Session) Regions(g *ir.Graph) *ir.RegionSet {
+	if s == nil {
+		return ir.Regionize(g, 0)
+	}
+	if s.g != g {
+		s.invalidate(g)
+	}
+	if sv := g.StructVersion(); !s.regionsValid || sv != s.regionsStruct || len(s.regions.Of) != len(g.Blocks) {
+		s.regions = ir.Regionize(g, 0)
+		s.regionsStruct = sv
+		s.regionsValid = true
+	}
+	return s.regions
+}
+
 // invalidate rebinds the session to a new graph, dropping all caches.
 func (s *Session) invalidate(g *ir.Graph) {
 	s.g = g
 	s.uValid = false
 	s.orderValid = false
+	s.regionsValid = false
 }
 
 // nodeInts converts a NodeID adjacency list to int indices without

@@ -391,3 +391,113 @@ func entryFilesSorted(t *testing.T, dir string, s *Store) []string {
 	}
 	return out
 }
+
+// TestConcurrentReadersDuringEviction hammers a tightly capped store with
+// writers that force a continuous eviction sweep while readers race the
+// sweep on the same keys. Run under -race this pins the locking of the
+// LRU bookkeeping; functionally it asserts a reader never observes another
+// key's payload — an evicted-mid-read entry must decay to a clean miss.
+func TestConcurrentReadersDuringEviction(t *testing.T) {
+	// Cap so only ~4 of the 16 distinct entries fit: every writer round
+	// evicts, so readers constantly hit files the sweep is unlinking.
+	s, err := Open(t.TempDir(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i%16)}, 256)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (w*7 + i) % 16
+				if err := s.Put(fmt.Sprintf("evict-key-%d", k), payload(k)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (r*5 + i) % 16
+				if got, ok := s.Get(fmt.Sprintf("evict-key-%d", k)); ok && !bytes.Equal(got, payload(k)) {
+					t.Errorf("Get(evict-key-%d) returned wrong payload %q", k, got[:1])
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Error("cap never triggered an eviction — the test exercised nothing")
+	}
+	if st.Corruptions != 0 {
+		t.Errorf("eviction sweep corrupted %d entries", st.Corruptions)
+	}
+	if st.Bytes > 2048 {
+		t.Errorf("store over its cap after the sweep: %d bytes", st.Bytes)
+	}
+}
+
+// TestIndexRecoversFromDeletedArtifact: the persisted index names a file
+// that was deleted out from under the store (operator cleanup, another
+// process). Reopening must recover — the directory scan is the source of
+// truth, the index only refines LRU order — with consistent accounting
+// and a clean miss for the deleted entry.
+func TestIndexRecoversFromDeletedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"keep-a", "victim", "keep-b"}
+	for _, k := range keys {
+		if err := s.Put(k, []byte(k+" payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil { // persists index.json naming all three
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, fileFor("victim"))); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("reopen after artifact deletion: %v", err)
+	}
+	if n := s2.Len(); n != 2 {
+		t.Errorf("reopened store indexes %d entries, want 2", n)
+	}
+	if _, ok := s2.Get("victim"); ok {
+		t.Error("deleted artifact still served")
+	}
+	for _, k := range []string{"keep-a", "keep-b"} {
+		got, ok := s2.Get(k)
+		if !ok || string(got) != k+" payload" {
+			t.Errorf("surviving entry %q lost: ok=%v got=%q", k, ok, got)
+		}
+	}
+	// The stale index row must not poison accounting: stored bytes equal
+	// the surviving files' sizes exactly.
+	var want int64
+	for _, k := range []string{"keep-a", "keep-b"} {
+		info, err := os.Stat(filepath.Join(dir, fileFor(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += info.Size()
+	}
+	if st := s2.Stats(); st.Bytes != want {
+		t.Errorf("bytes accounting after recovery: have %d, want %d", st.Bytes, want)
+	}
+}

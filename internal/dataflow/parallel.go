@@ -30,10 +30,16 @@ import (
 // the depth of the most stubborn cycle, the parallel analogue of the
 // serial sweep counter.
 
-// condense runs an iterative Tarjan SCC over the n-node graph spanned by
+// Condense runs an iterative Tarjan SCC over the n-node graph spanned by
 // next. It returns the component id of every node and the component
 // member lists. Components are emitted in reverse topological order of
-// the condensation (a component only after everything it reaches).
+// the condensation (a component only after everything it reaches). The
+// parallel solver schedules over it, and ir.Regionize reuses it as the
+// backbone of the deterministic region decomposition.
+func Condense(n int, next func(int) []int) (sccOf []int, comps [][]int) {
+	return condense(n, next)
+}
+
 func condense(n int, next func(int) []int) (sccOf []int, comps [][]int) {
 	sccOf = make([]int, n)
 	index := make([]int, n) // 0 = unvisited, else discovery index + 1

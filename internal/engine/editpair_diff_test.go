@@ -1,0 +1,63 @@
+package engine
+
+// The incremental-differential suite: for every embedded edit pair and
+// every pipeline the daemon serves, an engine that saw the base program
+// first must produce a byte-identical result for the edited program —
+// whether the edit was contained (region replay), escaping (certified
+// refusal, cold fallback), or the pipeline is one the incremental tier
+// does not cover at all (custom pipelines run cold by construction).
+// This is the acceptance gate for the region tier: reuse is an
+// optimization, never an observable.
+
+import (
+	"context"
+	"testing"
+
+	"assignmentmotion/internal/corpus"
+)
+
+func TestEditPairDifferential(t *testing.T) {
+	pairs := corpus.EditPairs()
+	if len(pairs) < 3 {
+		t.Fatalf("edit-pair corpus too small: %+v", pairs)
+	}
+	pipelines := map[string][]string{
+		"default":  nil,
+		"emcp":     {"emcp"},
+		"gvn-emcp": {"gvn-emcp"},
+	}
+	for _, pair := range pairs {
+		for pname, passes := range pipelines {
+			t.Run(pair.Name+"/"+pname, func(t *testing.T) {
+				base := corpus.Load(pair.Base)
+				edited := corpus.Load(pair.Edited)
+
+				cold := New(Options{Passes: passes}).Optimize(context.Background(), edited)
+				if cold.Err != nil {
+					t.Fatalf("cold run: %v", cold.Err)
+				}
+
+				warm := New(Options{Passes: passes, Incremental: true})
+				if r := warm.Optimize(context.Background(), base); r.Err != nil {
+					t.Fatalf("base run: %v", r.Err)
+				}
+				r := warm.Optimize(context.Background(), edited)
+				if r.Err != nil {
+					t.Fatalf("edited run: %v", r.Err)
+				}
+				if got, want := r.Graph.Encode(), cold.Graph.Encode(); got != want {
+					t.Errorf("warm result differs from cold run (tier=%q)\n--- warm\n%s--- cold\n%s",
+						r.CacheTier, got, want)
+				}
+				if pname == "default" && pair.Contained {
+					if r.CacheTier != "region" {
+						t.Errorf("contained edit was not served by the region tier (tier=%q)", r.CacheTier)
+					}
+				}
+				if pname != "default" && r.CacheTier == "region" {
+					t.Errorf("custom pipeline %q claimed a region hit", pname)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package engine
+
+// The region-granular incremental tier. When Options.Incremental is set,
+// every clean computation of the default global pipeline is observed by
+// an incr.Recorder, and its manifest — per-region content digests,
+// per-round boundary dataflow facts, and the post-AM program — is stored
+// through the incr.Driver (backed by Options.Backend when present, an
+// in-process store otherwise). A later job whose graph differs from a
+// recorded predecessor in a single region's interior replays only that
+// region and stitches the rest, certified byte-identical to the cold
+// run; any certificate mismatch silently falls back to the cold path.
+
+import (
+	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/incr"
+	"assignmentmotion/internal/ir"
+)
+
+// incrEligible reports whether a job is a candidate for incremental
+// record/replay: the default global pipeline on a temp-free source. The
+// τ-canonical region digests are only bijective on temp-free inputs, and
+// only the default pipeline has the recorded aht/rae round structure.
+func (e *Engine) incrEligible(g *ir.Graph) bool {
+	return e.incrDrv != nil && len(e.opts.Passes) == 0 && len(g.Temps()) == 0
+}
+
+// newRecorder returns the recorder observing this job's computation, or
+// nil when the job is not eligible for recording.
+func (e *Engine) newRecorder(key cacheKey, g *ir.Graph) *incr.Recorder {
+	if !e.incrEligible(g) {
+		return nil
+	}
+	return incr.NewRecorder(key.fp.String(), key.cfg())
+}
+
+// tryWarm attempts a certified warm replay against the recorded
+// predecessors of this configuration. ok=false means the caller computes
+// cold.
+func (e *Engine) tryWarm(key cacheKey, g *ir.Graph) (*incr.WarmResult, bool) {
+	if !e.incrEligible(g) {
+		return nil, false
+	}
+	return e.incrDrv.TryWarm(key.cfg(), key.fp.String(), g)
+}
+
+// incrRecord stores the manifest of a clean computation. A nil recorder,
+// an invalidated recording, or a run that never reached the end hook all
+// decay to a no-op — degraded or failed runs are never persisted.
+func (e *Engine) incrRecord(key cacheKey, rec *incr.Recorder) {
+	if e.incrDrv == nil || rec == nil {
+		return
+	}
+	e.incrDrv.Record(key.cfg(), rec.Manifest())
+}
+
+// warmResult shapes a certified replay into the core.Result the cold run
+// would have reported.
+func warmResult(w *incr.WarmResult) core.Result {
+	return core.Result{
+		Decomposed: w.Decomposed,
+		AM: am.Stats{
+			Iterations: w.AMIterations,
+			Eliminated: w.Eliminated,
+			SplitEdges: w.SplitEdges,
+		},
+		Flush: w.Flush,
+	}
+}

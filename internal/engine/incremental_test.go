@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/cachestore"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+	"assignmentmotion/internal/pass"
+)
+
+// incrDiamond builds a chain of nd branch diamonds whose per-diamond
+// patterns are permanently blocked at the branch, so a one-block edit
+// stays inside its region. Mirrors the incr package's test generator:
+// the engine-level tests exercise the same program family through the
+// public Optimize surface.
+func incrDiamond(nd int, edit map[int]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph diamonds {\n  entry s0\n  exit done\n")
+	fmt.Fprintf(&b, "  block s0 {\n    pre := u + v\n    goto d0\n  }\n")
+	for i := 0; i < nd; i++ {
+		fmt.Fprintf(&b, "  block d%d {\n    if u + v < 7 then a%d else b%d\n  }\n", i, i, i)
+		armY := fmt.Sprintf("y%d := p + q", i)
+		if v, ok := edit[i]; ok {
+			armY = v
+		}
+		fmt.Fprintf(&b, "  block a%d {\n    x%d := p + q\n    %s\n    goto j%d\n  }\n", i, i, armY, i)
+		fmt.Fprintf(&b, "  block b%d {\n    z%d := p - q\n    goto j%d\n  }\n", i, i, i)
+		next := fmt.Sprintf("d%d", i+1)
+		if i == nd-1 {
+			next = "done"
+		}
+		fmt.Fprintf(&b, "  block j%d {\n    w%d := x%d\n    goto %s\n  }\n", i, i, i, next)
+	}
+	fmt.Fprintf(&b, "  block done { out(u) }\n}\n")
+	return b.String()
+}
+
+func parseProg(t *testing.T, src string) *ir.Graph {
+	t.Helper()
+	g, err := parse.ParseWith(src, parse.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return g
+}
+
+// TestIncrementalWarmReplay: after an incremental engine optimizes a base
+// program cold, an edited variant whose change is contained in one region
+// is served by the region tier, byte-identical to a cold run of the
+// edited program.
+func TestIncrementalWarmReplay(t *testing.T) {
+	const nd = 30
+	base := parseProg(t, incrDiamond(nd, nil))
+	edited := parseProg(t, incrDiamond(nd, map[int]string{4: "y4 := x4"}))
+
+	e := New(Options{Incremental: true})
+	r1 := e.Optimize(context.Background(), base)
+	if r1.Err != nil || r1.CacheHit {
+		t.Fatalf("base run: err=%v cacheHit=%v", r1.Err, r1.CacheHit)
+	}
+
+	r2 := e.Optimize(context.Background(), edited)
+	if r2.Err != nil {
+		t.Fatalf("edited run: %v", r2.Err)
+	}
+	if !r2.CacheHit || r2.CacheTier != "region" {
+		t.Fatalf("edited run: cacheHit=%v tier=%q; want a region hit", r2.CacheHit, r2.CacheTier)
+	}
+	if r2.RegionsTotal < 3 {
+		t.Fatalf("expected a multi-region graph, got %d regions", r2.RegionsTotal)
+	}
+	if r2.RegionsReused != r2.RegionsTotal-1 || r2.RegionsRecomputed != 1 {
+		t.Fatalf("regions: total=%d reused=%d recomputed=%d; want all but one reused",
+			r2.RegionsTotal, r2.RegionsReused, r2.RegionsRecomputed)
+	}
+
+	cold := New(Options{}).Optimize(context.Background(), edited)
+	if cold.Err != nil {
+		t.Fatalf("cold reference: %v", cold.Err)
+	}
+	if r2.Graph.Encode() != cold.Graph.Encode() {
+		t.Fatalf("warm replay differs from cold run\n--- warm\n%s--- cold\n%s",
+			r2.Graph.Encode(), cold.Graph.Encode())
+	}
+	if r2.Result != cold.Result {
+		t.Fatalf("warm statistics differ from cold: %+v vs %+v", r2.Result, cold.Result)
+	}
+
+	// The certified result populated the exact tiers under the edited
+	// graph's own fingerprint: resubmitting is a plain memory hit.
+	r3 := e.Optimize(context.Background(), edited)
+	if !r3.CacheHit || r3.CacheTier != "memory" {
+		t.Fatalf("resubmit: cacheHit=%v tier=%q; want a memory hit", r3.CacheHit, r3.CacheTier)
+	}
+}
+
+// TestIncrementalBackendRestart: manifests persist through the backend,
+// so a fresh engine over the same store replays an edited program warm —
+// the daemon-restart scenario for the region tier.
+func TestIncrementalBackendRestart(t *testing.T) {
+	store, err := cachestore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nd = 25
+	base := parseProg(t, incrDiamond(nd, nil))
+	edited := parseProg(t, incrDiamond(nd, map[int]string{12: "y12 := x12"}))
+
+	e1 := New(Options{Backend: store, Incremental: true})
+	if r := e1.Optimize(context.Background(), base); r.Err != nil {
+		t.Fatalf("record run: %v", r.Err)
+	}
+
+	e2 := New(Options{Backend: store, Incremental: true})
+	r := e2.Optimize(context.Background(), edited)
+	if r.Err != nil {
+		t.Fatalf("restarted engine: %v", r.Err)
+	}
+	if !r.CacheHit || r.CacheTier != "region" {
+		t.Fatalf("restarted engine: cacheHit=%v tier=%q; want a region hit", r.CacheHit, r.CacheTier)
+	}
+	cold := New(Options{}).Optimize(context.Background(), edited)
+	if r.Graph.Encode() != cold.Graph.Encode() {
+		t.Fatal("restarted warm replay differs from cold run")
+	}
+}
+
+// TestIncrementalDegradedNeverRecorded: a run that needed recovery must
+// not leave a manifest behind — a later edit of the poisoned program gets
+// a full cold optimization, never a replay of degraded output.
+func TestIncrementalDegradedNeverRecorded(t *testing.T) {
+	store, err := cachestore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nd = 25
+	base := parseProg(t, incrDiamond(nd, nil))
+	edited := parseProg(t, incrDiamond(nd, map[int]string{3: "y3 := x3"}))
+
+	poisoned := New(Options{
+		Backend:     store,
+		Incremental: true,
+		Recovery:    pass.Rollback,
+		Inject: func(index int, p pass.Pass) pass.Pass {
+			if index != 2 {
+				return p
+			}
+			p.RunWith = func(g *ir.Graph, s *analysis.Session) (pass.Stats, error) {
+				panic("chaos: poisoned pass")
+			}
+			return p
+		},
+	})
+	r := poisoned.Optimize(context.Background(), base)
+	if r.Err != nil || r.Outcome != OutcomeDegraded {
+		t.Fatalf("poisoned run: err=%v outcome=%s; want absorbed degradation", r.Err, r.Outcome)
+	}
+	if n := store.Len(); n != 0 {
+		t.Fatalf("degraded run persisted %d entries; want none", n)
+	}
+
+	e2 := New(Options{Backend: store, Incremental: true})
+	r2 := e2.Optimize(context.Background(), edited)
+	if r2.Err != nil {
+		t.Fatalf("edited run: %v", r2.Err)
+	}
+	if r2.CacheHit {
+		t.Fatalf("edited run hit tier %q off a degraded predecessor", r2.CacheTier)
+	}
+}
+
+// TestIncrementalReportAggregation: batch-level region counters roll up
+// from per-graph results.
+func TestIncrementalReportAggregation(t *testing.T) {
+	const nd = 30
+	base := parseProg(t, incrDiamond(nd, nil))
+	e := New(Options{Incremental: true})
+	if r := e.Optimize(context.Background(), base); r.Err != nil {
+		t.Fatalf("base run: %v", r.Err)
+	}
+
+	edits := []map[int]string{
+		{2: "y2 := x2"},
+		{17: "y17 := x17"},
+	}
+	var graphs []*ir.Graph
+	for _, ed := range edits {
+		graphs = append(graphs, parseProg(t, incrDiamond(nd, ed)))
+	}
+	rep := e.OptimizeBatch(context.Background(), graphs)
+	if rep.Failed != 0 {
+		t.Fatalf("batch failed: %+v", rep)
+	}
+	if rep.RegionHits != len(edits) {
+		t.Fatalf("regionHits=%d, want %d (results: %+v)", rep.RegionHits, len(edits), rep.Results)
+	}
+	if rep.RegionsReused == 0 || rep.RegionsRecomputed != len(edits) {
+		t.Fatalf("regionsReused=%d regionsRecomputed=%d", rep.RegionsReused, rep.RegionsRecomputed)
+	}
+}

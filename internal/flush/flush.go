@@ -203,6 +203,19 @@ type Stats struct {
 	Reconstructed int
 }
 
+// Observer receives read-only views of one flush run: the analyses while
+// their arena storage is still live, and the finished graph with the
+// per-block statistics. Observation never changes the run's result.
+type Observer struct {
+	// Analyzed fires after the analyses complete, before the rewrite.
+	// The Info's vectors are arena-backed and only valid for the call.
+	Analyzed func(g *ir.Graph, info *Info)
+	// Done fires after the rewrite and normalization, with the total
+	// statistics and their attribution to blocks (indexed by block
+	// slice position).
+	Done func(g *ir.Graph, total Stats, perBlock []Stats)
+}
+
 // Run applies the final flush to g in place.
 func Run(g *ir.Graph) Stats {
 	return RunWith(g, nil)
@@ -212,18 +225,32 @@ func Run(g *ir.Graph) Stats {
 // rewound before returning, so a flush inside a warmed-up Optimize call
 // allocates only the rewritten instruction slices.
 func RunWith(g *ir.Graph, s *analysis.Session) Stats {
+	return RunObservedWith(g, s, nil)
+}
+
+// RunObservedWith is RunWith observed by obs (nil observes nothing).
+func RunObservedWith(g *ir.Graph, s *analysis.Session, obs *Observer) Stats {
 	ar := s.Arena()
 	m := ar.Mark()
 	defer ar.Release(m)
 	info := AnalyzeWith(g, s)
+	if obs != nil && obs.Analyzed != nil {
+		obs.Analyzed(g, info)
+	}
 	var st Stats
+	var perBlock []Stats
+	if obs != nil && obs.Done != nil {
+		perBlock = make([]Stats, len(g.Blocks))
+		defer func() { obs.Done(g, st, perBlock) }()
+	}
 	bits := len(info.Temps)
 	if bits == 0 {
 		return st
 	}
 
 	idx := 0
-	for _, b := range g.Blocks {
+	for bIdx, b := range g.Blocks {
+		before := st
 		next := make([]ir.Instr, 0, len(b.Instrs))
 		var appendAfter []ir.Instr
 		for _, in := range b.Instrs {
@@ -241,7 +268,7 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 					next = append(next, initInstr(info, t))
 					st.InsertedInits++
 				case usedHere:
-					if !canReconstruct(in, info.Temps[t]) {
+					if !CanReconstruct(in, info.Temps[t]) {
 						next = append(next, initInstr(info, t))
 						st.InsertedInits++
 					}
@@ -257,8 +284,8 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 				out := in
 				for t := 0; t < bits; t++ {
 					if info.NLatest[idx].Get(t) && info.used[idx].Get(t) &&
-						!info.XUsable[idx].Get(t) && canReconstruct(in, info.Temps[t]) {
-						out = reconstruct(out, info.Temps[t], info.Exprs[t])
+						!info.XUsable[idx].Get(t) && CanReconstruct(in, info.Temps[t]) {
+						out = Reconstruct(out, info.Temps[t], info.Exprs[t])
 						st.Reconstructed++
 					}
 				}
@@ -280,6 +307,13 @@ func RunWith(g *ir.Graph, s *analysis.Session) Stats {
 			}
 		}
 		b.Instrs = append(next, appendAfter...)
+		if perBlock != nil {
+			perBlock[bIdx] = Stats{
+				DroppedInits:  st.DroppedInits - before.DroppedInits,
+				InsertedInits: st.InsertedInits - before.InsertedInits,
+				Reconstructed: st.Reconstructed - before.Reconstructed,
+			}
+		}
 	}
 	g.Normalize()
 	return st
@@ -299,10 +333,12 @@ func instanceBit(info *Info, idx int) int {
 	return bitsSet[0]
 }
 
-// canReconstruct reports whether the single use of h in instruction in can
+// CanReconstruct reports whether the single use of h in instruction in can
 // be replaced by the originating term within the 3-address grammar: a copy
 // assignment v := h, or a trivial branch-condition side that is exactly h.
-func canReconstruct(in ir.Instr, h ir.Var) bool {
+// Exported for the incremental layer, whose region-restricted flush replay
+// must make the identical decision.
+func CanReconstruct(in ir.Instr, h ir.Var) bool {
 	switch in.Kind {
 	case ir.KindAssign:
 		return in.RHS.Trivial() && !in.RHS.Args[0].IsConst && in.RHS.Args[0].Var == h
@@ -316,8 +352,8 @@ func trivialVarSide(t ir.Term, h ir.Var) bool {
 	return t.Trivial() && !t.Args[0].IsConst && t.Args[0].Var == h
 }
 
-// reconstruct replaces the use of h in in by expr.
-func reconstruct(in ir.Instr, h ir.Var, expr ir.Term) ir.Instr {
+// Reconstruct replaces the use of h in in by expr.
+func Reconstruct(in ir.Instr, h ir.Var, expr ir.Term) ir.Instr {
 	switch in.Kind {
 	case ir.KindAssign:
 		return ir.NewAssign(in.LHS, expr)

@@ -1,0 +1,234 @@
+package incr_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"assignmentmotion/internal/am"
+	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/core"
+	"assignmentmotion/internal/flush"
+	"assignmentmotion/internal/incr"
+	"assignmentmotion/internal/ir"
+	"assignmentmotion/internal/parse"
+	"assignmentmotion/internal/pass"
+)
+
+// chainProg builds a straight-line chain of n blocks, each accumulating
+// through a per-block constant. The AM fixpoint shifts every pattern one
+// block upstream per round — a long cascade in which a one-block edit
+// eventually reaches every region, so warm replays of edited chains must
+// detect the divergence and refuse.
+func chainProg(n int, edits map[int]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph chain {\n  entry s0\n  exit done\n")
+	for i := 0; i < n; i++ {
+		c := i + 1
+		if v, ok := edits[i]; ok {
+			c = v
+		}
+		next := fmt.Sprintf("s%d", i+1)
+		if i == n-1 {
+			next = "done"
+		}
+		fmt.Fprintf(&b, "  block s%d {\n    acc := acc + %d\n    goto %s\n  }\n", i, c, next)
+	}
+	fmt.Fprintf(&b, "  block done { out(acc) }\n}\n")
+	return b.String()
+}
+
+// diamondProg builds a chain of nd branch diamonds. The branch condition
+// computes the one global expression u+v, which hoists to the entry and
+// crosses every region boundary identically in every variant. Each
+// diamond's arms and join carry per-diamond copy patterns that are
+// permanently blocked at the diamond's branch (the opposite arm never
+// wants them), so an edit inside one diamond stays inside its region.
+// The duplicated p+q in the taken arm feeds rae one removal per diamond,
+// which unblocks a copy hoist the round after — a small ladder that
+// keeps the fixpoint multi-round.
+func diamondProg(nd int, edit map[int]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph diamonds {\n  entry s0\n  exit done\n")
+	fmt.Fprintf(&b, "  block s0 {\n    pre := u + v\n    goto d0\n  }\n")
+	for i := 0; i < nd; i++ {
+		fmt.Fprintf(&b, "  block d%d {\n    if u + v < 7 then a%d else b%d\n  }\n", i, i, i)
+		armY := fmt.Sprintf("y%d := p + q", i)
+		if v, ok := edit[i]; ok {
+			armY = v
+		}
+		fmt.Fprintf(&b, "  block a%d {\n    x%d := p + q\n    %s\n    goto j%d\n  }\n", i, i, armY, i)
+		fmt.Fprintf(&b, "  block b%d {\n    z%d := p - q\n    goto j%d\n  }\n", i, i, i)
+		next := fmt.Sprintf("d%d", i+1)
+		if i == nd-1 {
+			next = "done"
+		}
+		fmt.Fprintf(&b, "  block j%d {\n    w%d := x%d\n    goto %s\n  }\n", i, i, i, next)
+	}
+	fmt.Fprintf(&b, "  block done { out(u) }\n}\n")
+	return b.String()
+}
+
+func mustParse(t *testing.T, src string) *ir.Graph {
+	t.Helper()
+	g, err := parse.ParseWith(src, parse.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return g
+}
+
+// coldRun runs the default global pipeline on a clone of g, optionally
+// observed by a recorder, and returns the optimized clone.
+func coldRun(t *testing.T, g *ir.Graph, rec *incr.Recorder) (*ir.Graph, core.Result) {
+	t.Helper()
+	clone := g.Clone()
+	s := analysis.NewSession()
+	defer s.Close()
+	var res core.Result
+	var hooks *am.Hooks
+	var fobs *flush.Observer
+	if rec != nil {
+		hooks = rec.Hooks()
+		fobs = rec.FlushObserver()
+	}
+	pl := pass.New(core.PhasesObserved(&res, hooks, fobs)...)
+	if _, err := pl.RunWith(nil, clone, s); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return clone, res
+}
+
+func record(t *testing.T, src string) (*incr.Manifest, *ir.Graph, core.Result) {
+	t.Helper()
+	g := mustParse(t, src)
+	rec := incr.NewRecorder(g.Fingerprint().String(), "test-cfg")
+	opt, res := coldRun(t, g, rec)
+	man := rec.Manifest()
+	if man == nil {
+		t.Fatal("recorder produced no manifest")
+	}
+	return man, opt, res
+}
+
+// TestReplayContainedEdit is the core byte-identity check: a one-block
+// edit in a region's interior replays warm and reproduces the cold
+// optimization of the edited program exactly.
+func TestReplayContainedEdit(t *testing.T) {
+	const nd = 30 // 4 blocks per diamond + entry + exit → multiple regions
+	man, _, coldBaseRes := record(t, diamondProg(nd, nil))
+	if man.K < 2 {
+		t.Fatalf("expected a multi-round fixpoint, got K=%d", man.K)
+	}
+
+	// Edit diamond 4: its arm drops the duplicated p+q for a local copy.
+	// Both the removed and the added pattern are blocked inside the
+	// diamond, so the edit is contained in the first region's interior.
+	edited := mustParse(t, diamondProg(nd, map[int]string{4: "y4 := x4"}))
+	warm, ok := incr.Replay(edited, man)
+	if !ok {
+		t.Fatal("warm replay did not certify for a contained edit")
+	}
+	coldG, coldRes := coldRun(t, edited, nil)
+	if got, want := warm.Graph.Encode(), coldG.Encode(); got != want {
+		t.Fatalf("warm result differs from cold:\nwarm:\n%s\ncold:\n%s", got, want)
+	}
+	if warm.AMIterations != coldRes.AM.Iterations {
+		t.Errorf("iterations: warm %d cold %d", warm.AMIterations, coldRes.AM.Iterations)
+	}
+	if warm.Eliminated != coldRes.AM.Eliminated {
+		t.Errorf("eliminated: warm %d cold %d", warm.Eliminated, coldRes.AM.Eliminated)
+	}
+	if warm.Flush != coldRes.Flush {
+		t.Errorf("flush stats: warm %+v cold %+v", warm.Flush, coldRes.Flush)
+	}
+	if warm.RegionsTotal < 3 {
+		t.Errorf("expected a multi-region decomposition, got %d regions", warm.RegionsTotal)
+	}
+	if warm.RegionsReused != warm.RegionsTotal-1 {
+		t.Errorf("reused %d of %d regions, want all but one", warm.RegionsReused, warm.RegionsTotal)
+	}
+	_ = coldBaseRes
+}
+
+// TestReplaySingleRegion degenerates to a whole-graph replay: a small
+// graph is one region, the edit dirties it, nothing is stitched — the
+// result must still be byte-identical.
+func TestReplaySingleRegion(t *testing.T) {
+	man, _, _ := record(t, chainProg(6, nil))
+	edited := mustParse(t, chainProg(6, map[int]int{3: 77}))
+	warm, ok := incr.Replay(edited, man)
+	if !ok {
+		t.Fatal("single-region replay did not certify")
+	}
+	coldG, _ := coldRun(t, edited, nil)
+	if warm.Graph.Encode() != coldG.Encode() {
+		t.Fatal("single-region warm result differs from cold")
+	}
+	if warm.RegionsTotal != 1 || warm.RegionsReused != 0 {
+		t.Errorf("regions: total %d reused %d, want 1/0", warm.RegionsTotal, warm.RegionsReused)
+	}
+}
+
+// TestReplayNeverWrong feeds edits that change the cross-region
+// interface (removing the accumulator anchor changes how far patterns
+// hoist). The replay may certify or refuse, but when it certifies the
+// result must be byte-identical to cold.
+func TestReplayNeverWrong(t *testing.T) {
+	const n = 100
+	man, _, _ := record(t, chainProg(n, nil))
+
+	// An interface-changing edit: block 50 loses its acc definition, so
+	// upstream patterns hoist differently.
+	var b strings.Builder
+	for _, line := range strings.Split(chainProg(n, nil), "\n") {
+		b.WriteString(strings.Replace(line, "acc := acc + 51", "q := q * 3", 1))
+		b.WriteString("\n")
+	}
+	edited := mustParse(t, b.String())
+	if warm, ok := incr.Replay(edited, man); ok {
+		coldG, _ := coldRun(t, edited, nil)
+		if warm.Graph.Encode() != coldG.Encode() {
+			t.Fatal("certified replay differs from cold on interface-changing edit")
+		}
+	}
+
+	// A structural edit (different block count) must refuse outright.
+	shorter := mustParse(t, chainProg(n-1, nil))
+	if _, ok := incr.Replay(shorter, man); ok {
+		t.Fatal("replay certified across a structural edit")
+	}
+}
+
+// TestDriverRoundTrip exercises the heads ring and store seam with the
+// in-process fallback store.
+func TestDriverRoundTrip(t *testing.T) {
+	const nd = 25
+	d := incr.NewDriver(nil)
+	cfg := "passes=|recovery=fail|budget=0,0,0"
+
+	man, _, _ := record(t, diamondProg(nd, nil))
+	man.Cfg = cfg
+	d.Record(cfg, man)
+
+	edited := mustParse(t, diamondProg(nd, map[int]string{12: "y12 := x12"}))
+	warm, ok := d.TryWarm(cfg, edited.Fingerprint().String(), edited)
+	if !ok {
+		t.Fatal("driver found no warm path after Record")
+	}
+	coldG, _ := coldRun(t, edited, nil)
+	if warm.Graph.Encode() != coldG.Encode() {
+		t.Fatal("driver warm result differs from cold")
+	}
+
+	// The same fingerprint must not warm against itself.
+	base := mustParse(t, diamondProg(nd, nil))
+	if _, ok := d.TryWarm(cfg, man.Fp, base); ok {
+		t.Fatal("TryWarm replayed a graph against its own manifest")
+	}
+
+	// A different config must miss.
+	if _, ok := d.TryWarm("other-cfg", edited.Fingerprint().String(), edited); ok {
+		t.Fatal("TryWarm crossed configs")
+	}
+}

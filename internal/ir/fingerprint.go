@@ -5,7 +5,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -29,43 +28,23 @@ func (f Fingerprint) Short() string { return f.String()[:12] }
 // every instruction, edge, and occurring temporary binding h_ε ↦ ε.
 // Graph and block names are deliberately excluded, so structurally equal
 // programs parsed from differently named sources coincide.
+//
+// The digest composes from per-region digests over the deterministic
+// region decomposition (see Regionize/RegionDigests): each region hashes
+// its own canonical block serialization, and the whole-graph fingerprint
+// hashes the header plus the region digest sequence. Regions partition
+// the canonical order, so the composition carries exactly the
+// information the flat traversal did, while exposing the per-region
+// digests the incremental artifact store diffs against.
 func (g *Graph) Fingerprint() Fingerprint {
-	rank := make([]int, len(g.Blocks)) // NodeID -> canonical index + 1
-	order := make([]*Block, 0, len(g.Blocks))
-	visit := func(id NodeID) {
-		stack := []NodeID{id}
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if rank[n] != 0 {
-				continue
-			}
-			order = append(order, g.Block(n))
-			rank[n] = len(order)
-			succs := g.Block(n).Succs
-			for i := len(succs) - 1; i >= 0; i-- {
-				if rank[succs[i]] == 0 {
-					stack = append(stack, succs[i])
-				}
-			}
-		}
-	}
-	if len(g.Blocks) > 0 {
-		visit(g.Entry)
-	}
-	for _, b := range g.Blocks { // unreachable leftovers, declaration order
-		if rank[b.ID] == 0 {
-			visit(b.ID)
-		}
-	}
+	order, rank := g.canonicalOrder()
+	_, digests := g.RegionDigests()
 
 	h := sha256.New()
 	fmt.Fprintf(h, "entry %d exit %d\n", rank[g.Entry], rank[g.Exit])
-	// The block serialization is the exact one Encode uses (see
-	// writeBlocksCanon), only in canonical order and under rank names.
-	writeBlocksCanon(h, order, func(id NodeID) string {
-		return "n" + strconv.Itoa(rank[id])
-	})
+	for i, d := range digests {
+		fmt.Fprintf(h, "region %d %s\n", i, d)
+	}
 	var temps []Var
 	seen := map[Var]bool{}
 	note := func(v Var) {

@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// regionChain builds nd diamonds in a row (entry → d0 → {a0|b0} → j0 →
+// d1 → …) with a back edge from the last join to diamond `loop` (no back
+// edge when loop < 0). When reversed, blocks are declared in the
+// opposite order — the structure, and therefore the canonical
+// decomposition, must not change.
+func regionChain(t *testing.T, nd, loop int, reversed bool) *Graph {
+	t.Helper()
+	b := NewBuilder("regions")
+	declare := func(i int) {
+		d, a, jn := "d"+itoa(i), "a"+itoa(i), "j"+itoa(i)
+		bb := "b" + itoa(i)
+		b.Block(d).Cond(OpLT, BinTerm(OpAdd, VarOp("u"), VarOp("v")), ConstTerm(7))
+		b.Block(a).AssignBin(Var("x"+itoa(i)), OpAdd, VarOp("p"), VarOp("q"))
+		b.Block(bb).AssignBin(Var("z"+itoa(i)), OpSub, VarOp("p"), VarOp("q"))
+		b.Block(jn).AssignVar(Var("w"+itoa(i)), Var("x"+itoa(i)))
+		if loop >= 0 && i == nd-1 {
+			// The looping join branches: fall out to done or back to the
+			// loop head.
+			b.Block(jn).Cond(OpLT, VarTerm(Var("w"+itoa(i))), ConstTerm(0))
+		}
+	}
+	if reversed {
+		b.Block("done").Out(VarOp("u"))
+		for i := nd - 1; i >= 0; i-- {
+			declare(i)
+		}
+		b.Block("s").AssignBin("pre", OpAdd, VarOp("u"), VarOp("v"))
+	} else {
+		b.Block("s").AssignBin("pre", OpAdd, VarOp("u"), VarOp("v"))
+		for i := 0; i < nd; i++ {
+			declare(i)
+		}
+		b.Block("done").Out(VarOp("u"))
+	}
+	b.Edge("s", "d0")
+	for i := 0; i < nd; i++ {
+		d, a, jn := "d"+itoa(i), "a"+itoa(i), "j"+itoa(i)
+		bb := "b" + itoa(i)
+		b.Edge(d, a)
+		b.Edge(d, bb)
+		b.Edge(a, jn)
+		b.Edge(bb, jn)
+		next := "done"
+		if i < nd-1 {
+			next = "d" + itoa(i+1)
+		}
+		b.Edge(jn, next)
+	}
+	if loop >= 0 {
+		b.Edge("j"+itoa(nd-1), "d"+itoa(loop))
+	}
+	g, err := b.Finish("s", "done")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestRegionizePartition(t *testing.T) {
+	g := regionChain(t, 40, -1, false)
+	rs := Regionize(g, 0)
+	if rs.Len() < 2 {
+		t.Fatalf("expected a multi-region decomposition of %d blocks, got %d regions", len(g.Blocks), rs.Len())
+	}
+	seen := make([]int, len(g.Blocks))
+	for r, region := range rs.Regions {
+		if len(region) == 0 {
+			t.Fatalf("region %d is empty", r)
+		}
+		if len(region) > DefaultRegionTarget {
+			t.Fatalf("region %d has %d blocks, target %d (no SCC here exceeds the target)", r, len(region), DefaultRegionTarget)
+		}
+		for _, id := range region {
+			seen[id]++
+			if rs.Of[id] != r {
+				t.Fatalf("block %d listed in region %d but Of says %d", id, r, rs.Of[id])
+			}
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d appears in %d regions, want exactly 1", id, n)
+		}
+	}
+}
+
+func TestRegionizeSingleEntry(t *testing.T) {
+	g := regionChain(t, 40, -1, false)
+	rs := Regionize(g, 0)
+	for r, region := range rs.Regions {
+		entries := 0
+		for _, id := range region {
+			if id == g.Entry {
+				entries++
+				continue
+			}
+			for _, p := range g.Block(id).Preds {
+				if rs.Of[p] != r {
+					entries++
+					break
+				}
+			}
+		}
+		// Every component of this graph is a single block, so the greedy
+		// grouping never has to accept a multi-entry region.
+		if entries > 1 {
+			t.Fatalf("region %d has %d entry blocks, want at most 1", r, entries)
+		}
+	}
+}
+
+func TestRegionizeDeterministic(t *testing.T) {
+	g := regionChain(t, 25, 3, false)
+	a, b := Regionize(g, 0), Regionize(g, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Regionize runs on the same graph disagree")
+	}
+}
+
+func TestRegionizeDeclarationOrderInvariant(t *testing.T) {
+	fwd := regionChain(t, 25, 3, false)
+	rev := regionChain(t, 25, 3, true)
+	if fwd.Fingerprint() != rev.Fingerprint() {
+		t.Fatal("structurally equal graphs have different fingerprints")
+	}
+	rsF, digF := fwd.RegionDigests()
+	rsR, digR := rev.RegionDigests()
+	if !reflect.DeepEqual(digF, digR) {
+		t.Fatalf("region digests depend on declaration order:\nfwd: %v\nrev: %v", digF, digR)
+	}
+	if rsF.Len() != rsR.Len() {
+		t.Fatalf("region counts differ: %d vs %d", rsF.Len(), rsR.Len())
+	}
+	for r := range rsF.Regions {
+		if len(rsF.Regions[r]) != len(rsR.Regions[r]) {
+			t.Fatalf("region %d sizes differ: %d vs %d", r, len(rsF.Regions[r]), len(rsR.Regions[r]))
+		}
+	}
+}
+
+func TestRegionizeLoopUnsplit(t *testing.T) {
+	// A back edge from the last join to diamond 3 puts diamonds 3..24 in
+	// one SCC of 4*22 = 88 > DefaultRegionTarget blocks: the component
+	// must still land in a single region.
+	g := regionChain(t, 25, 3, false)
+	rs := Regionize(g, 0)
+	first := rs.Of[g.BlockByName("d3").ID]
+	for i := 3; i < 25; i++ {
+		for _, name := range []string{"d", "a", "b", "j"} {
+			if got := rs.Of[g.BlockByName(name+itoa(i)).ID]; got != first {
+				t.Fatalf("loop block %s%d in region %d, loop head in %d: SCC was split", name, i, got, first)
+			}
+		}
+	}
+}

@@ -43,6 +43,23 @@ func (u *PatternSet) AddFrom(g *Graph) bool {
 	return len(u.pats) != before
 }
 
+// AddFromBlocks is AddFrom restricted to the given blocks. Callers that
+// know which region of the graph changed (the incremental engine, a
+// motion fixpoint that tracked its own writes) resync the universe in
+// O(changed region) instead of rescanning the whole graph; the contract
+// is that every block outside bs is unchanged since the last sync.
+func (u *PatternSet) AddFromBlocks(bs []*Block) bool {
+	before := len(u.pats)
+	for _, b := range bs {
+		for i := range b.Instrs {
+			if b.Instrs[i].Kind == KindAssign {
+				u.Intern(b.Instrs[i].Pattern())
+			}
+		}
+	}
+	return len(u.pats) != before
+}
+
 // Intern adds p to the universe if absent and returns its dense ID.
 func (u *PatternSet) Intern(p AssignPattern) int {
 	if id, ok := u.index[p]; ok {

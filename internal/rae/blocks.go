@@ -36,6 +36,15 @@ func EliminateBlocks(g *ir.Graph) int {
 // ever removes instructions, so zero removals means the graph is
 // textually unchanged.
 func EliminateBlocksWith(g *ir.Graph, s *analysis.Session) int {
+	return EliminateBlocksObservedWith(g, s, nil, nil)
+}
+
+// EliminateBlocksObservedWith is EliminateBlocksWith with observation
+// hooks for the incremental recorder: onSolve fires after the
+// availability solve, before any removal — the vectors live in the
+// session arena and must be copied, not retained; onDone fires after
+// the removal walk with per-block removal counts.
+func EliminateBlocksObservedWith(g *ir.Graph, s *analysis.Session, onSolve func(px *analysis.PatternIndex, availIn, availOut []bitvec.Vec), onDone func(removedByBlock []int)) int {
 	u, px := s.Universe(g)
 	n, bits := len(g.Blocks), u.Len()
 	if bits == 0 {
@@ -81,7 +90,15 @@ func EliminateBlocksWith(g *ir.Graph, s *analysis.Session) int {
 		},
 	})
 
+	if onSolve != nil {
+		onSolve(px, res.In, res.Out)
+	}
+
 	removed := 0
+	var removedByBlock []int
+	if onDone != nil {
+		removedByBlock = make([]int, n)
+	}
 	avail := ar.Vec(bits)
 	for i, b := range g.Blocks {
 		avail.CopyFrom(res.In[i])
@@ -91,6 +108,9 @@ func EliminateBlocksWith(g *ir.Graph, s *analysis.Session) int {
 			id, isOcc := px.OccID(in)
 			if isOcc && avail.Get(id) {
 				removed++
+				if removedByBlock != nil {
+					removedByBlock[i]++
+				}
 				// The removed occurrence was redundant: the association
 				// already holds, so availability is unchanged.
 				continue
@@ -104,5 +124,8 @@ func EliminateBlocksWith(g *ir.Graph, s *analysis.Session) int {
 		b.Instrs = kept
 	}
 	g.Normalize()
+	if onDone != nil {
+		onDone(removedByBlock)
+	}
 	return removed
 }

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// diamondSrc builds the region-contained diamond family used by the
+// engine and incr tests, as source text for HTTP requests.
+func diamondSrc(nd int, edit map[int]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph diamonds {\n  entry s0\n  exit done\n")
+	fmt.Fprintf(&b, "  block s0 {\n    pre := u + v\n    goto d0\n  }\n")
+	for i := 0; i < nd; i++ {
+		fmt.Fprintf(&b, "  block d%d {\n    if u + v < 7 then a%d else b%d\n  }\n", i, i, i)
+		armY := fmt.Sprintf("y%d := p + q", i)
+		if v, ok := edit[i]; ok {
+			armY = v
+		}
+		fmt.Fprintf(&b, "  block a%d {\n    x%d := p + q\n    %s\n    goto j%d\n  }\n", i, i, armY, i)
+		fmt.Fprintf(&b, "  block b%d {\n    z%d := p - q\n    goto j%d\n  }\n", i, i, i)
+		next := fmt.Sprintf("d%d", i+1)
+		if i == nd-1 {
+			next = "done"
+		}
+		fmt.Fprintf(&b, "  block j%d {\n    w%d := x%d\n    goto %s\n  }\n", i, i, i, next)
+	}
+	fmt.Fprintf(&b, "  block done { out(u) }\n}\n")
+	return b.String()
+}
+
+// TestServerRegionTier: with Config.Incremental on, an edited resubmit is
+// served by the region tier, the response carries the per-region
+// accounting, the batch summary rolls it up, and /metrics exports the
+// region counters.
+func TestServerRegionTier(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Incremental: true})
+	const nd = 30
+
+	var first OptimizeResponse
+	resp := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Name: "base", Program: diamondSrc(nd, nil)}, &first)
+	if resp.StatusCode != http.StatusOK || first.CacheHit {
+		t.Fatalf("base: status=%d cacheHit=%v", resp.StatusCode, first.CacheHit)
+	}
+
+	var warm OptimizeResponse
+	// Edit diamond 12, not one whose blocks straddle a region boundary:
+	// a straddling edit dirties two regions and correctly falls back cold.
+	resp = postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Name: "edited", Program: diamondSrc(nd, map[int]string{12: "y12 := x12"})}, &warm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edited: status=%d", resp.StatusCode)
+	}
+	if !warm.CacheHit || warm.CacheTier != "region" {
+		t.Fatalf("edited: cacheHit=%v tier=%q; want a region hit", warm.CacheHit, warm.CacheTier)
+	}
+	if warm.RegionsTotal < 3 || warm.RegionsReused != warm.RegionsTotal-1 || warm.RegionsRecomputed != 1 {
+		t.Fatalf("edited region accounting: total=%d reused=%d recomputed=%d",
+			warm.RegionsTotal, warm.RegionsReused, warm.RegionsRecomputed)
+	}
+	if warm.Program == "" {
+		t.Fatal("region hit returned no program")
+	}
+
+	// A differently edited variant through the batch endpoint rolls the
+	// region accounting into the summary.
+	results, summary := postBatch(t, ts.URL, BatchRequest{
+		Programs: []BatchProgram{{Name: "edit2", Program: diamondSrc(nd, map[int]string{19: "y19 := x19"})}},
+	})
+	if len(results) != 1 || results[0].CacheTier != "region" {
+		t.Fatalf("batch results: %+v", results)
+	}
+	if summary.RegionHits != 1 || summary.RegionsReused != results[0].RegionsReused || summary.RegionsRecomputed != 1 {
+		t.Fatalf("batch summary region accounting: %+v", summary)
+	}
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`amoptd_cache_hits_total{tier="region"} 2`,
+		"amoptd_regions_recomputed_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "amoptd_regions_reused_total") {
+		t.Error("/metrics missing amoptd_regions_reused_total")
+	}
+}

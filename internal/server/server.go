@@ -77,6 +77,12 @@ type Config struct {
 	// so job-level and region-level concurrency together stay near the
 	// core count; 1 forces serial solves.
 	SolverWorkers int
+	// Incremental enables the region-granular cache tier
+	// (engine.Options.Incremental): default-pipeline jobs whose graph
+	// differs from a recorded predecessor in one region's interior are
+	// replayed region-by-region instead of re-optimized, certified
+	// byte-identical to the cold run.
+	Incremental bool
 }
 
 func (c *Config) fill() {
@@ -204,10 +210,14 @@ func (s *Server) engineFor(cfg engineConfig) *engine.Engine {
 		Recovery:      cfg.recovery,
 		Budget:        cfg.budget,
 		Inject:        s.cfg.Inject,
+		Incremental:   s.cfg.Incremental,
 		Hook:          func(_ string, ev pass.Event) { s.met.passEvent(ev) },
 		OutcomeHook: func(r engine.GraphResult) {
 			if r.Err == nil {
 				s.met.cacheOutcome(r.CacheHit, r.CacheTier)
+				if r.CacheTier == "region" {
+					s.met.regionOutcome(r.RegionsReused, r.RegionsRecomputed)
+				}
 			}
 		},
 	}
@@ -277,13 +287,20 @@ type OptimizeRequest struct {
 // OptimizeResponse is the body of a POST /v1/optimize answer (and, per
 // line, of a batch stream).
 type OptimizeResponse struct {
-	Index        int          `json:"index,omitempty"`
-	Name         string       `json:"name,omitempty"`
-	Outcome      string       `json:"outcome"`
-	Program      string       `json:"program,omitempty"`
-	Fingerprint  string       `json:"fingerprint,omitempty"`
-	CacheHit     bool         `json:"cacheHit"`
-	CacheTier    string       `json:"cacheTier,omitempty"`
+	Index       int    `json:"index,omitempty"`
+	Name        string `json:"name,omitempty"`
+	Outcome     string `json:"outcome"`
+	Program     string `json:"program,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	CacheHit    bool   `json:"cacheHit"`
+	CacheTier   string `json:"cacheTier,omitempty"`
+	// Region accounting of a "region"-tier hit: how many regions the
+	// graph decomposed into, how many were stitched from the recorded
+	// predecessor, and how many were re-optimized live.
+	RegionsTotal      int `json:"regionsTotal,omitempty"`
+	RegionsReused     int `json:"regionsReused,omitempty"`
+	RegionsRecomputed int `json:"regionsRecomputed,omitempty"`
+
 	AMIterations int          `json:"amIterations,omitempty"`
 	Wall         string       `json:"wall,omitempty"`
 	Passes       []pass.Event `json:"passes,omitempty"`
@@ -381,15 +398,18 @@ func (s *Server) deadline(ms int64) time.Duration {
 // respond converts one engine result into the response shape.
 func respond(idx int, name string, r engine.GraphResult) OptimizeResponse {
 	resp := OptimizeResponse{
-		Index:        idx,
-		Name:         name,
-		Outcome:      string(r.Outcome),
-		Fingerprint:  r.Fingerprint,
-		CacheHit:     r.CacheHit,
-		CacheTier:    r.CacheTier,
-		AMIterations: r.Result.AM.Iterations,
-		Wall:         r.Timings.Total.String(),
-		Passes:       r.Passes,
+		Index:             idx,
+		Name:              name,
+		Outcome:           string(r.Outcome),
+		Fingerprint:       r.Fingerprint,
+		CacheHit:          r.CacheHit,
+		CacheTier:         r.CacheTier,
+		RegionsTotal:      r.RegionsTotal,
+		RegionsReused:     r.RegionsReused,
+		RegionsRecomputed: r.RegionsRecomputed,
+		AMIterations:      r.Result.AM.Iterations,
+		Wall:              r.Timings.Total.String(),
+		Passes:            r.Passes,
 	}
 	for _, f := range r.Failures {
 		resp.Failures = append(resp.Failures, f.Error())
@@ -482,13 +502,19 @@ type BatchRequest struct {
 
 // BatchSummary is the final NDJSON line of a batch stream.
 type BatchSummary struct {
-	Graphs      int    `json:"graphs"`
-	Optimized   int    `json:"optimized"`
-	Degraded    int    `json:"degraded"`
-	Failed      int    `json:"failed"`
-	CacheHits   int    `json:"cacheHits"`
-	CacheMisses int    `json:"cacheMisses"`
-	Wall        string `json:"wall"`
+	Graphs      int `json:"graphs"`
+	Optimized   int `json:"optimized"`
+	Degraded    int `json:"degraded"`
+	Failed      int `json:"failed"`
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+	// Region-tier accounting across the batch: hits served by warm
+	// replay, and the regions they reused versus re-optimized.
+	RegionHits        int `json:"regionHits,omitempty"`
+	RegionsReused     int `json:"regionsReused,omitempty"`
+	RegionsRecomputed int `json:"regionsRecomputed,omitempty"`
+
+	Wall string `json:"wall"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -591,6 +617,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if resp.CacheHit {
 			summary.CacheHits++
+			if resp.CacheTier == "region" {
+				summary.RegionHits++
+				summary.RegionsReused += resp.RegionsReused
+				summary.RegionsRecomputed += resp.RegionsRecomputed
+			}
 		} else if resp.Error == "" {
 			summary.CacheMisses++
 		}
