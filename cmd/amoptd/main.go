@@ -29,11 +29,28 @@
 //	                             re-optimization: a resubmitted program
 //	                             edited inside one region replays only
 //	                             that region (default true)
+//	-peers URL,URL               other cluster members' base URLs;
+//	                             setting this turns on cluster mode
+//	-advertise URL               this node's own base URL, as peers reach
+//	                             it (required with -peers)
+//	-cluster-mode MODE           "worker" (ring member, default) or
+//	                             "coordinator" (routes everything to the
+//	                             workers, owns no shard)
+//	-hedge-after D               launch a hedged forward to the next ring
+//	                             replica when the primary has not answered
+//	                             within D (0 = 50ms default, -1 disables)
+//	-peer-retries N              extra forward cycles over the candidate
+//	                             peers after the first fails
+//	                             (0 = 2 default, -1 disables)
+//	-no-local-fallback           answer 503 peer-unavailable instead of
+//	                             computing unowned jobs locally when no
+//	                             peer is usable
 //
 // Endpoints: POST /v1/optimize, POST /v1/optimize/batch (NDJSON stream),
-// GET /v1/passes, GET /healthz, GET /metrics (Prometheus text format).
-// See internal/server for the request/response schema and DESIGN.md §10
-// for the architecture.
+// GET /v1/passes, GET /healthz (liveness), GET /readyz (readiness: drain
+// state and ring membership), GET /metrics (Prometheus text format).
+// See internal/server for the request/response schema, DESIGN.md §10 for
+// the architecture, and DESIGN.md §13 for cluster failure semantics.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting,
 // /healthz turns 503, in-flight requests finish (up to -drain-timeout),
@@ -53,9 +70,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"assignmentmotion/internal/cluster"
 	"assignmentmotion/internal/server"
 )
 
@@ -80,6 +99,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxBatch      = fs.Int("max-batch", 0, "programs per batch request (0 = 1024)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain window for in-flight requests")
 		incremental   = fs.Bool("incremental", true, "region-granular incremental re-optimization of edited programs")
+
+		peers           = fs.String("peers", "", "comma-separated base URLs of the other cluster members (empty = single-node)")
+		advertise       = fs.String("advertise", "", "this node's own base URL as peers reach it (required with -peers)")
+		clusterMode     = fs.String("cluster-mode", "worker", `cluster role: "worker" or "coordinator"`)
+		hedgeAfter      = fs.Duration("hedge-after", 0, "hedge a forward to the next replica after this latency (0 = 50ms, negative disables)")
+		peerRetries     = fs.Int("peer-retries", 0, "extra forward cycles over the candidate peers (0 = 2, negative disables)")
+		noLocalFallback = fs.Bool("no-local-fallback", false, "refuse to compute unowned jobs locally when no peer is usable (answer 503)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -87,6 +113,32 @@ func run(args []string, stdout, stderr *os.File) int {
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "amoptd: unexpected arguments %q\n", fs.Args())
 		return 1
+	}
+
+	var clusterCfg *cluster.Config
+	if *peers != "" {
+		if *advertise == "" {
+			fmt.Fprintf(stderr, "amoptd: -peers requires -advertise (this node's own base URL)\n")
+			return 1
+		}
+		mode, err := cluster.ParseMode(*clusterMode)
+		if err != nil {
+			fmt.Fprintf(stderr, "amoptd: %v\n", err)
+			return 1
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		clusterCfg = &cluster.Config{
+			Self:       *advertise,
+			Peers:      peerList,
+			Mode:       mode,
+			HedgeAfter: *hedgeAfter,
+			Retries:    *peerRetries,
+		}
 	}
 
 	logger := log.New(stderr, "amoptd: ", log.LstdFlags)
@@ -103,6 +155,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		MaxBodyBytes:    *maxBody,
 		MaxBatch:        *maxBatch,
 		Incremental:     *incremental,
+		Cluster:         clusterCfg,
+		NoLocalFallback: *noLocalFallback,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "amoptd: %v\n", err)
@@ -128,6 +182,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		logger.Printf("listening on %s (cache %s, %d entries warm)", ln.Addr(), *cacheDir, srv.Store().Len())
 	} else {
 		logger.Printf("listening on %s (memory-only cache)", ln.Addr())
+	}
+	if clusterCfg != nil {
+		logger.Printf("cluster %s mode, advertising %s, peers %s", clusterCfg.Mode, clusterCfg.Self, strings.Join(clusterCfg.Peers, ","))
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"assignmentmotion/internal/fault"
+)
+
+// fakePeer is an httptest peer that records forwarded requests.
+type fakePeer struct {
+	ts      *httptest.Server
+	hits    atomic.Int64
+	handler atomic.Value // func(w, r)
+}
+
+func newFakePeer(t *testing.T, h http.HandlerFunc) *fakePeer {
+	t.Helper()
+	p := &fakePeer{}
+	p.handler.Store(h)
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.hits.Add(1)
+		p.handler.Load().(http.HandlerFunc)(w, r)
+	}))
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func okHandler(body string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}
+}
+
+func forwardNode(t *testing.T, peers ...string) *Node {
+	t.Helper()
+	return newTestNode(t, Config{
+		Self:         "http://self.test:1",
+		Peers:        peers,
+		HedgeAfter:   -1, // individual tests opt in
+		Retries:      -1,
+		RetryBackoff: time.Millisecond,
+	})
+}
+
+func TestForwardRelaysResponse(t *testing.T) {
+	peer := newFakePeer(t, func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get(ForwardedHeader); got != "http://self.test:1" {
+			t.Errorf("forwarded header = %q", got)
+		}
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"x":1}` {
+			t.Errorf("forwarded body = %q", body)
+		}
+		okHandler(`{"ok":true}`)(w, r)
+	})
+	n := forwardNode(t, peer.ts.URL)
+	res, err := n.Forward(context.Background(), []string{peer.ts.URL}, "/v1/optimize", []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if res.Status != 200 || string(res.Body) != `{"ok":true}` || res.Peer != peer.ts.URL {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Hedged {
+		t.Fatal("primary win reported as hedged")
+	}
+}
+
+// Peer answers (4xx/500/504) are the owner's real verdicts: relayed,
+// never failed over.
+func TestForwardRelaysNonRetryableStatus(t *testing.T) {
+	bad := newFakePeer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such pass", http.StatusBadRequest)
+	})
+	good := newFakePeer(t, okHandler(`{}`))
+	n := forwardNode(t, bad.ts.URL, good.ts.URL)
+	res, err := n.Forward(context.Background(), []string{bad.ts.URL, good.ts.URL}, "/p", nil)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if res.Status != http.StatusBadRequest || res.Peer != bad.ts.URL {
+		t.Fatalf("result = %+v, want the 400 relayed from the first peer", res)
+	}
+	if good.hits.Load() != 0 {
+		t.Fatal("failover ran despite a definitive peer answer")
+	}
+}
+
+// Shedding statuses fail over to the next replica.
+func TestForwardFailsOverOnShed(t *testing.T) {
+	shed := newFakePeer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	})
+	good := newFakePeer(t, okHandler(`{"winner":true}`))
+	n := forwardNode(t, shed.ts.URL, good.ts.URL)
+	res, err := n.Forward(context.Background(), []string{shed.ts.URL, good.ts.URL}, "/p", nil)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if res.Peer != good.ts.URL || string(res.Body) != `{"winner":true}` {
+		t.Fatalf("result = %+v", res)
+	}
+	// Shed is not a transport failure: the peer must stay routable.
+	if !n.Healthy(shed.ts.URL) {
+		t.Fatal("shedding peer was marked down")
+	}
+}
+
+// A transport-dead peer is marked down and the request fails over.
+func TestForwardTransportErrorMarksDownAndFailsOver(t *testing.T) {
+	dead := newFakePeer(t, okHandler(`{}`))
+	dead.ts.Close() // connection refused from here on
+	good := newFakePeer(t, okHandler(`{"ok":1}`))
+	n := forwardNode(t, dead.ts.URL, good.ts.URL)
+	res, err := n.Forward(context.Background(), []string{dead.ts.URL, good.ts.URL}, "/p", nil)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if res.Peer != good.ts.URL {
+		t.Fatalf("winner = %q, want the live peer", res.Peer)
+	}
+	if n.Healthy(dead.ts.URL) {
+		t.Fatal("dead peer not marked down")
+	}
+	_, failures := n.Metrics().ForwardCounts()
+	if failures[dead.ts.URL] == 0 {
+		t.Fatal("no forward failure recorded for the dead peer")
+	}
+}
+
+// Exhausting every candidate yields a typed peer-unavailable error.
+func TestForwardExhaustionIsPeerUnavailable(t *testing.T) {
+	dead := newFakePeer(t, okHandler(`{}`))
+	dead.ts.Close()
+	n := newTestNode(t, Config{
+		Self:         "http://self.test:1",
+		Peers:        []string{dead.ts.URL},
+		HedgeAfter:   -1,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+	})
+	_, err := n.Forward(context.Background(), []string{dead.ts.URL}, "/p", nil)
+	if err == nil {
+		t.Fatal("exhausted forward succeeded")
+	}
+	if !errors.Is(err, fault.ErrPeerUnavailable) {
+		t.Fatalf("error %v is not ErrPeerUnavailable", err)
+	}
+	var pe *fault.PeerError
+	if !errors.As(err, &pe) || pe.Attempts != 2 {
+		t.Fatalf("error %#v, want PeerError with 2 attempts (1 try + 1 retry)", err)
+	}
+	if fault.HTTPStatus(err) != http.StatusServiceUnavailable {
+		t.Fatalf("HTTPStatus = %d, want 503", fault.HTTPStatus(err))
+	}
+	if n.Metrics().retries.Load() != 1 {
+		t.Fatalf("retries = %d, want 1", n.Metrics().retries.Load())
+	}
+
+	// An empty candidate list short-circuits to the same taxonomy.
+	_, err = n.Forward(context.Background(), nil, "/p", nil)
+	if !errors.Is(err, fault.ErrPeerUnavailable) {
+		t.Fatalf("empty-candidate error %v is not ErrPeerUnavailable", err)
+	}
+}
+
+// A slow primary triggers a hedge to the next replica; the hedge wins
+// and the primary is canceled.
+func TestForwardHedgesSlowPrimary(t *testing.T) {
+	primaryCanceled := make(chan struct{}, 1)
+	slow := newFakePeer(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			primaryCanceled <- struct{}{}
+		case <-time.After(5 * time.Second):
+		}
+	})
+	fast := newFakePeer(t, okHandler(`{"fast":true}`))
+	n := newTestNode(t, Config{
+		Self:       "http://self.test:1",
+		Peers:      []string{slow.ts.URL, fast.ts.URL},
+		HedgeAfter: 20 * time.Millisecond,
+		Retries:    -1,
+	})
+	start := time.Now()
+	res, err := n.Forward(context.Background(), []string{slow.ts.URL, fast.ts.URL}, "/p", nil)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if res.Peer != fast.ts.URL || !res.Hedged {
+		t.Fatalf("result = %+v, want hedged win from the fast peer", res)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedged forward took %v; the slow primary was awaited", elapsed)
+	}
+	launched, wins := n.Metrics().HedgeCount()
+	if launched != 1 || wins != 1 {
+		t.Fatalf("hedge metrics launched=%d wins=%d, want 1/1", launched, wins)
+	}
+	select {
+	case <-primaryCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing primary attempt was not canceled")
+	}
+	// The slow peer answered nothing wrong — it must not be down.
+	if !n.Healthy(slow.ts.URL) {
+		t.Fatal("slow peer was marked down by hedging")
+	}
+}
+
+// The caller's deadline bounds the whole retry budget.
+func TestForwardHonorsContextDeadline(t *testing.T) {
+	stall := newFakePeer(t, func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	n := newTestNode(t, Config{
+		Self:       "http://self.test:1",
+		Peers:      []string{stall.ts.URL},
+		HedgeAfter: -1,
+		Retries:    5,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Forward(ctx, []string{stall.ts.URL}, "/p", nil)
+	if err == nil {
+		t.Fatal("deadline-bounded forward succeeded")
+	}
+	if !errors.Is(err, fault.ErrPeerUnavailable) {
+		t.Fatalf("error %v is not ErrPeerUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("forward ran %v past its deadline", elapsed)
+	}
+}

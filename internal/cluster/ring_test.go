@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+// Every node must compute the identical ring from the same membership,
+// regardless of the order the members were listed in.
+func TestRingDeterministicAcrossListOrder(t *testing.T) {
+	members := ringMembers(5)
+	reversed := make([]string, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	a := newRing(members, 0)
+	b := newRing(reversed, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// Replicas must be a permutation of the full membership with the owner
+// first, so the fail-over walk can always reach every node.
+func TestRingReplicasCoverMembership(t *testing.T) {
+	r := newRing(ringMembers(4), 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		reps := r.Replicas(key)
+		if len(reps) != 4 {
+			t.Fatalf("key %q: %d replicas, want 4", key, len(reps))
+		}
+		if reps[0] != r.Owner(key) {
+			t.Fatalf("key %q: first replica %q is not the owner %q", key, reps[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m] {
+				t.Fatalf("key %q: duplicate replica %q", key, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// With virtual nodes, keyspace shares should be roughly even, and sum
+// to 1.
+func TestRingSharesBalanced(t *testing.T) {
+	r := newRing(ringMembers(4), 0)
+	shares := r.Shares()
+	var total float64
+	for m, s := range shares {
+		total += s
+		if s < 0.10 || s > 0.45 {
+			t.Errorf("member %s owns %.3f of the keyspace; want roughly 0.25", m, s)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %.6f, want 1", total)
+	}
+}
+
+// Removing one member must only remap the keys that member owned — the
+// consistent-hashing property that keeps caches warm through membership
+// changes.
+func TestRingRemovalOnlyRemapsLostShard(t *testing.T) {
+	members := ringMembers(5)
+	full := newRing(members, 0)
+	reduced := newRing(members[:4], 0)
+	lost := members[4]
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != lost && before != after {
+			t.Fatalf("key %q moved from surviving member %q to %q", key, before, after)
+		}
+		if before == lost && after == lost {
+			t.Fatalf("key %q still owned by removed member", key)
+		}
+	}
+}
+
+func TestRingDegenerateCases(t *testing.T) {
+	empty := newRing(nil, 0)
+	if reps := empty.Replicas("k"); reps != nil {
+		t.Fatalf("empty ring returned replicas %v", reps)
+	}
+	if owner := empty.Owner("k"); owner != "" {
+		t.Fatalf("empty ring returned owner %q", owner)
+	}
+
+	single := newRing([]string{"http://only:1"}, 1)
+	if owner := single.Owner("k"); owner != "http://only:1" {
+		t.Fatalf("single-member ring owner = %q", owner)
+	}
+	if s := single.Shares()["http://only:1"]; s != 1 {
+		t.Fatalf("single-member share = %g, want 1", s)
+	}
+
+	dup := newRing([]string{"http://a:1", "http://a:1", "", "http://b:1"}, 0)
+	if got := len(dup.Members()); got != 2 {
+		t.Fatalf("dedup ring has %d members, want 2", got)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, n := range []int{0, 1, 9, 10, 63, 100, 12345} {
+		if got, want := itoa(n), fmt.Sprintf("%d", n); got != want {
+			t.Fatalf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -2,7 +2,10 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -12,6 +15,7 @@ import (
 	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
 	"assignmentmotion/internal/pass"
+	"assignmentmotion/internal/printer"
 )
 
 // memBackend is an in-memory Backend for tests that don't need a disk.
@@ -202,6 +206,123 @@ func TestBackendCorruptEntryRecomputed(t *testing.T) {
 	}
 	if r2.Graph.Encode() != r1.Graph.Encode() {
 		t.Fatal("recompute after corruption diverged from the original result")
+	}
+}
+
+// faultyBackend misses every Get and errors every Put — a persistent
+// tier that is present but completely broken.
+type faultyBackend struct {
+	puts atomic.Int64
+}
+
+func (b *faultyBackend) Get(string) ([]byte, bool) { return nil, false }
+
+func (b *faultyBackend) Put(string, []byte) error {
+	b.puts.Add(1)
+	return errFaultyBackend
+}
+
+var errFaultyBackend = errors.New("backend write refused")
+
+// TestBackendPutFailureNeverFailsRequests: a backend whose every write
+// errors costs persistence and nothing else — requests still answer
+// optimized, and the memory tier still serves repeats.
+func TestBackendPutFailureNeverFailsRequests(t *testing.T) {
+	fb := &faultyBackend{}
+	g := cfggen.Structured(29, cfggen.Config{Size: 8})
+	e := New(Options{Backend: fb})
+
+	r1 := e.Optimize(context.Background(), g)
+	if r1.Err != nil || r1.Outcome != OutcomeOptimized {
+		t.Fatalf("first run with broken backend: err=%v outcome=%s", r1.Err, r1.Outcome)
+	}
+	if fb.puts.Load() == 0 {
+		t.Fatal("write-through was never attempted")
+	}
+
+	r2 := e.Optimize(context.Background(), g)
+	if !r2.CacheHit || r2.CacheTier != "memory" {
+		t.Fatalf("repeat: cacheHit=%v tier=%q; want a memory hit despite the failed Put", r2.CacheHit, r2.CacheTier)
+	}
+	if r2.Graph.Encode() != r1.Graph.Encode() {
+		t.Fatal("memory-served result diverged after a Put failure")
+	}
+}
+
+// TestBackendCorruptEntryVariants: every corruption shape a backend can
+// serve — broken JSON, an empty payload, a future entry version, a
+// well-formed entry wrapping an unparseable program — degrades to a
+// local compute with the correct answer, and never poisons the memory
+// tier.
+func TestBackendCorruptEntryVariants(t *testing.T) {
+	g := cfggen.Structured(31, cfggen.Config{Size: 8})
+
+	// Learn the real cache key (and the reference answer) from a clean
+	// run against a scratch backend.
+	seed := newMemBackend()
+	ref := New(Options{Backend: seed}).Optimize(context.Background(), g)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	if seed.len() != 1 {
+		t.Fatalf("seed backend has %d entries, want 1", seed.len())
+	}
+	var key string
+	seed.mu.Lock()
+	for k := range seed.m {
+		key = k
+	}
+	seed.mu.Unlock()
+
+	wrongVersion, err := json.Marshal(persistedEntry{
+		Version: persistVersion + 1,
+		Program: printer.String(ref.Graph),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unparseable, err := json.Marshal(persistedEntry{
+		Version: persistVersion,
+		Program: "graph ??? {",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"invalid JSON", []byte("{not json")},
+		{"empty payload", nil},
+		{"wrong version", wrongVersion},
+		{"unparseable program", unparseable},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			backend := newMemBackend()
+			backend.Put(key, c.payload)
+			e := New(Options{Backend: backend})
+
+			r := e.Optimize(context.Background(), g)
+			if r.Err != nil {
+				t.Fatalf("request failed on corrupt backend data: %v", r.Err)
+			}
+			if r.CacheHit {
+				t.Fatalf("corrupt entry served as a %q-tier hit", r.CacheTier)
+			}
+			if r.Graph.Encode() != ref.Graph.Encode() {
+				t.Fatal("local recompute diverged from the reference answer")
+			}
+
+			r2 := e.Optimize(context.Background(), g)
+			if !r2.CacheHit || r2.CacheTier != "memory" {
+				t.Fatalf("repeat: cacheHit=%v tier=%q; want a memory hit", r2.CacheHit, r2.CacheTier)
+			}
+			if r2.Graph.Encode() != ref.Graph.Encode() {
+				t.Fatal("memory tier was poisoned by the corrupt backend entry")
+			}
+		})
 	}
 }
 

@@ -40,6 +40,14 @@ var (
 	// ErrCanceled: the caller's context was canceled or timed out
 	// between or during passes.
 	ErrCanceled = errors.New("optimization canceled")
+	// ErrPeerUnavailable: a clustered daemon could not reach any replica
+	// of the shard owning a forwarded request — every candidate peer was
+	// down, shedding, or draining. Retrying later may succeed.
+	ErrPeerUnavailable = errors.New("no cluster peer available")
+	// ErrPeerFailure: a cluster peer answered a forwarded request with a
+	// response the forwarder could not use (undecodable body, protocol
+	// violation). The peer is up but misbehaving.
+	ErrPeerFailure = errors.New("cluster peer returned an unusable response")
 )
 
 // PassError decorates a failure with the pipeline position that raised
@@ -170,6 +178,49 @@ func (e *CanceledError) Error() string { return fmt.Sprintf("optimization cancel
 func (e *CanceledError) Unwrap() error { return e.Err }
 
 func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// PeerError reports that forwarding a request to the cluster peers
+// responsible for its shard did not produce a usable response. It is
+// raised by the forwarding layer (internal/cluster), never by a pass, so
+// it carries no pipeline position.
+type PeerError struct {
+	// Peer is the last peer tried ("" when no peer was reachable at all).
+	Peer string
+	// Attempts counts the forward attempts made (including retries and
+	// hedges) before giving up.
+	Attempts int
+	// Unreachable distinguishes the two failure modes: true means no
+	// replica produced any response (down/shedding/draining — maps to
+	// 503), false means a peer answered but the response was unusable
+	// (maps to 502).
+	Unreachable bool
+	// Err is the underlying transport or decode failure, when one exists.
+	Err error
+}
+
+func (e *PeerError) Error() string {
+	kind := "unusable response from"
+	if e.Unreachable {
+		kind = "no usable response from"
+	}
+	msg := fmt.Sprintf("cluster: %s %d forward attempt(s)", kind, e.Attempts)
+	if e.Peer != "" {
+		msg += " (last peer " + e.Peer + ")"
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+func (e *PeerError) Is(target error) bool {
+	if e.Unreachable {
+		return target == ErrPeerUnavailable
+	}
+	return target == ErrPeerFailure
+}
 
 // Budget caps the resources one pipeline run may consume. The zero value
 // imposes no caps. Budgets turn runaway work into typed ErrBudgetExceeded

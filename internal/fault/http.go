@@ -20,6 +20,10 @@ import (
 //     request deadline expired before the pipeline finished)
 //   - ErrNoFixpoint, ErrInvalidGraph, ErrPassPanic → 500 Internal Server
 //     Error (the optimizer itself misbehaved)
+//   - ErrPeerUnavailable → 503 Service Unavailable (every replica of the
+//     owning shard was down or shedding; retry later)
+//   - ErrPeerFailure → 502 Bad Gateway (a peer answered a forwarded
+//     request with an unusable response)
 //
 // Unknown errors conservatively map to 500. Overload (shed requests) is
 // the server's own 429 and never reaches this mapping — it happens
@@ -30,6 +34,10 @@ func HTTPStatus(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrBudgetExceeded):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrPeerUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrPeerFailure):
+		return http.StatusBadGateway
 	case errors.Is(err, ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
@@ -41,7 +49,8 @@ func HTTPStatus(err error) int {
 
 // Name returns the stable machine-readable name of a failure kind:
 // "no-fixpoint", "invalid-graph", "pass-panic", "budget-exceeded",
-// "canceled", or "internal" for errors outside the taxonomy ("" for nil).
+// "peer-unavailable", "peer-failure", "canceled", or "internal" for
+// errors outside the taxonomy ("" for nil).
 // Daemon responses carry it in the JSON body alongside the prose.
 func Name(err error) string {
 	switch {
@@ -55,6 +64,10 @@ func Name(err error) string {
 		return "pass-panic"
 	case errors.Is(err, ErrBudgetExceeded):
 		return "budget-exceeded"
+	case errors.Is(err, ErrPeerUnavailable):
+		return "peer-unavailable"
+	case errors.Is(err, ErrPeerFailure):
+		return "peer-failure"
 	case errors.Is(err, ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):

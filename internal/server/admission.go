@@ -12,6 +12,8 @@ package server
 import (
 	"context"
 	"errors"
+	"math"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -84,3 +86,36 @@ func (a *admission) overloaded() bool {
 
 // queued reports the current wait-queue depth (for the metrics gauge).
 func (a *admission) queued() int64 { return a.waiting.Load() }
+
+// defaultMeanServiceSeconds seeds the Retry-After estimate before any
+// request has completed (optimizations typically land well under this).
+const defaultMeanServiceSeconds = 0.05
+
+// retryAfterSeconds estimates how long a shed client should wait: the
+// work ahead of it (the queue plus its own job) divided by the service
+// rate (workers per mean service time), clamped to [1, 60] seconds. A
+// lightly loaded server says "1"; a server with a deep queue of slow
+// jobs tells clients to stay away proportionally longer instead of
+// inviting an immediate synchronized retry storm.
+func retryAfterSeconds(queued int64, workers int, meanServiceSeconds float64) int {
+	if meanServiceSeconds <= 0 {
+		meanServiceSeconds = defaultMeanServiceSeconds
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	secs := int(math.Ceil(meanServiceSeconds * float64(queued+1) / float64(workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// retryAfter renders the Retry-After header value from the server's
+// current queue depth and observed mean service time.
+func (s *Server) retryAfter() string {
+	return strconv.Itoa(retryAfterSeconds(s.adm.queued(), s.cfg.Workers, s.met.meanServiceSeconds()))
+}

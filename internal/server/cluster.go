@@ -1,0 +1,244 @@
+package server
+
+// Cluster glue: how the HTTP handlers use internal/cluster.
+//
+// Jobs route by graph fingerprint. When the route names a healthy peer,
+// the request forwards there (with retries and hedging inside
+// cluster.Forward) and the peer's response is relayed — the forwarded
+// request carries the X-Amoptd-Forwarded header, so the receiving node
+// always computes locally and forwards never chain. When the route says
+// local, or every candidate peer is unusable and local fallback is
+// allowed, the job runs through the ordinary single-node path. With
+// NoLocalFallback set, unroutable jobs answer typed 503/502 through the
+// fault taxonomy instead.
+//
+// Nothing in this file writes to any cache: forwarded responses are
+// relayed verbatim and peer errors surface as fault.PeerError, so the
+// degraded-never-cached invariant reduces to each node's own engine
+// discipline.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"assignmentmotion/internal/cluster"
+	"assignmentmotion/internal/engine"
+	"assignmentmotion/internal/fault"
+	"assignmentmotion/internal/ir"
+)
+
+// nullStore is the local tier of memory-only cluster nodes: never hits,
+// never stores. The node still reads its peers' caches through the
+// remote tier wrapped around it.
+type nullStore struct{}
+
+func (nullStore) Get(string) ([]byte, bool) { return nil, false }
+func (nullStore) Put(string, []byte) error  { return nil }
+
+// Node exposes the cluster runtime (nil outside cluster mode); tests use
+// it to reach routing and metrics.
+func (s *Server) Node() *cluster.Node { return s.node }
+
+// noPeerErr is the typed failure for "the cluster owns this job but no
+// member of the cluster can take it".
+func noPeerErr() error {
+	return &fault.PeerError{
+		Unreachable: true,
+		Err:         errors.New("no healthy peer owns this graph and local fallback is disabled"),
+	}
+}
+
+// maybeForwardOptimize routes one single-optimize request. It reports
+// served=true when it wrote the response (forwarded, or answered a typed
+// peer failure); served=false means the caller runs the job locally —
+// either this node owns it, or its peer is gone and the job redistributes
+// here.
+func (s *Server) maybeForwardOptimize(w http.ResponseWriter, r *http.Request, req *OptimizeRequest, g *ir.Graph) (served bool, outcome string) {
+	if s.node == nil || r.Header.Get(cluster.ForwardedHeader) != "" {
+		return false, ""
+	}
+	route := s.node.Route(g.Fingerprint().String())
+	if route.Local {
+		return false, ""
+	}
+	if len(route.Peers) == 0 {
+		if !s.cfg.NoLocalFallback {
+			return false, ""
+		}
+		err := noPeerErr()
+		writeJSON(w, fault.HTTPStatus(err), errorBody{Error: err.Error(), ErrorKind: fault.Name(err)})
+		return true, fault.Name(err)
+	}
+
+	// The forwarded request carries the already-clamped deadline, so the
+	// peer cannot stretch the caller's budget, and the forward itself is
+	// bounded by the same budget.
+	d := s.deadline(req.DeadlineMs)
+	fwd := *req
+	fwd.DeadlineMs = d.Milliseconds()
+	body, err := json.Marshal(fwd)
+	if err != nil {
+		return false, ""
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	res, ferr := s.node.Forward(ctx, route.Peers, "/v1/optimize", body)
+	if ferr != nil {
+		if s.cfg.NoLocalFallback {
+			writeJSON(w, fault.HTTPStatus(ferr), errorBody{Error: ferr.Error(), ErrorKind: fault.Name(ferr)})
+			return true, fault.Name(ferr)
+		}
+		// The owner and every replica are gone: the job redistributes to
+		// this node's own engine.
+		s.node.Metrics().Redistributed()
+		return false, ""
+	}
+	ct := res.ContentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+	return true, "forwarded"
+}
+
+// forwardBatchJob routes one batch job as a single-optimize request to
+// its owning peer and folds the answer back into the stream's response
+// shape. served=false sends the job down the local compute path — the
+// caller's goroutine, which is exactly where a job lands when its peer
+// dies mid-batch (counted as a redistribution).
+func (s *Server) forwardBatchJob(ctx context.Context, req *BatchRequest, i int, g *ir.Graph) (OptimizeResponse, bool) {
+	if s.node == nil {
+		return OptimizeResponse{}, false
+	}
+	route := s.node.Route(g.Fingerprint().String())
+	if route.Local {
+		return OptimizeResponse{}, false
+	}
+
+	// A forwarding failure either redistributes the job to the local
+	// engine (default) or, with NoLocalFallback, becomes this job's typed
+	// failure line in the stream.
+	failed := func(err error) (OptimizeResponse, bool) {
+		if !s.cfg.NoLocalFallback {
+			s.node.Metrics().Redistributed()
+			return OptimizeResponse{}, false
+		}
+		return OptimizeResponse{
+			Index:     i,
+			Name:      g.Name,
+			Outcome:   string(engine.OutcomeFailed),
+			Error:     err.Error(),
+			ErrorKind: fault.Name(err),
+		}, true
+	}
+
+	if len(route.Peers) == 0 {
+		if !s.cfg.NoLocalFallback {
+			return OptimizeResponse{}, false
+		}
+		return failed(noPeerErr())
+	}
+
+	single := OptimizeRequest{
+		Name:    req.Programs[i].Name,
+		Program: req.Programs[i].Program,
+		Dialect: req.Dialect,
+		Passes:  req.Passes,
+		OnError: req.OnError,
+		Budget:  req.Budget,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			single.DeadlineMs = ms
+		}
+	}
+	body, merr := json.Marshal(single)
+	if merr != nil {
+		return OptimizeResponse{}, false
+	}
+	res, err := s.node.Forward(ctx, route.Peers, "/v1/optimize", body)
+	if err != nil {
+		return failed(err)
+	}
+	var resp OptimizeResponse
+	if jerr := json.Unmarshal(res.Body, &resp); jerr != nil || resp.Outcome == "" {
+		// The peer answered something that is not an optimize response
+		// (a proxy error page, a truncated body). Treat it like a peer
+		// failure: redistribute or surface a typed 502.
+		return failed(&fault.PeerError{
+			Peer:     res.Peer,
+			Attempts: 1,
+			Err:      fmt.Errorf("undecodable response (status %d)", res.Status),
+		})
+	}
+	resp.Index = i
+	if resp.Name == "" {
+		resp.Name = g.Name
+	}
+	resp.Passes = nil
+	return resp, true
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: it reflects
+// drain state and, in cluster mode, ring membership and peer health. A
+// worker is ready unless draining; a coordinator additionally needs at
+// least one healthy worker when local fallback is off (with fallback on
+// it can still serve everything itself, degraded).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Status       string               `json:"status"`
+		Draining     bool                 `json:"draining"`
+		Mode         string               `json:"mode,omitempty"`
+		RingMembers  int                  `json:"ringMembers,omitempty"`
+		HealthyPeers int                  `json:"healthyPeers"`
+		Peers        []cluster.PeerStatus `json:"peers,omitempty"`
+	}
+	rd := readiness{Draining: s.isDraining()}
+	ready := !rd.Draining
+	if s.node != nil {
+		rd.Mode = string(s.node.Mode())
+		rd.RingMembers = len(s.node.Members())
+		rd.HealthyPeers = s.node.HealthyPeerCount()
+		rd.Peers = s.node.Status()
+		if !s.node.Ready() && s.cfg.NoLocalFallback {
+			ready = false
+		}
+	}
+	status := http.StatusOK
+	rd.Status = "ready"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		rd.Status = "not-ready"
+	}
+	writeJSON(w, status, rd)
+}
+
+// handleClusterCache serves one persistent-store entry to a peer (the
+// remote cache tier's fetch endpoint). It reads the store directly —
+// never through an engine or a remote backend — so fetches cannot
+// recurse, and a store that never holds degraded results cannot leak
+// them. 404 is the only miss shape; peers treat every failure as a miss.
+func (s *Server) handleClusterCache(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	if s.store == nil {
+		http.NotFound(w, r)
+		return
+	}
+	data, ok := s.store.Get(key)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}

@@ -121,6 +121,30 @@ func (m *metrics) passEvent(ev pass.Event) {
 	m.mu.Unlock()
 }
 
+// meanServiceSeconds reports the observed mean request latency across
+// all endpoints (0 before anything has been observed) — the service-rate
+// signal behind the computed Retry-After header.
+func (m *metrics) meanServiceSeconds() float64 {
+	m.mu.Lock()
+	hists := make([]*histogram, 0, len(m.latency))
+	for _, h := range m.latency {
+		hists = append(hists, h)
+	}
+	m.mu.Unlock()
+	var sum float64
+	var total int64
+	for _, h := range hists {
+		h.mu.Lock()
+		sum += h.sum
+		total += h.total
+		h.mu.Unlock()
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
 // cacheOutcome records the cache behaviour of one job.
 func (m *metrics) cacheOutcome(hit bool, tier string) {
 	switch {

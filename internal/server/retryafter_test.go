@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name    string
+		queued  int64
+		workers int
+		mean    float64
+		want    int
+	}{
+		{"idle defaults to the floor", 0, 4, 0, 1},
+		{"fast service stays at the floor", 3, 4, 0.01, 1},
+		{"queue scales the estimate", 9, 1, 1.0, 10},
+		{"workers divide the queue", 9, 5, 1.0, 2},
+		{"slow service multiplies", 2, 1, 10.0, 30},
+		{"clamped to a minute", 100, 1, 10.0, 60},
+		{"degenerate workers treated as one", 1, 0, 1.0, 2},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.queued, c.workers, c.mean); got != c.want {
+			t.Errorf("%s: retryAfterSeconds(%d, %d, %g) = %d, want %d",
+				c.name, c.queued, c.workers, c.mean, got, c.want)
+		}
+	}
+}
+
+// A shed request's Retry-After must reflect the actual load: deep queues
+// of slow jobs push the hint up, an idle server keeps it at the floor.
+func TestRetryAfterHeaderScalesWithLoad(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+
+	// Occupy the single worker slot and fill the wait queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := srv.adm.tryAcquire(ctx); err != nil {
+		t.Fatalf("tryAcquire: %v", err)
+	}
+	defer srv.adm.release()
+	for i := 0; i < 2; i++ {
+		go srv.adm.acquire(ctx) //nolint:errcheck // released by cancel
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.adm.queued() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shed := func() string {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Program: distinctProgram(0)}, nil)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", resp.StatusCode)
+		}
+		return resp.Header.Get("Retry-After")
+	}
+
+	// No latency observed yet: the default mean keeps the hint at the
+	// floor even with a full queue.
+	if got := shed(); got != "1" {
+		t.Fatalf("idle-history Retry-After = %q, want \"1\"", got)
+	}
+
+	// Teach the histogram that requests take ~10s: three queued jobs
+	// behind one worker now project 30s of wait.
+	for i := 0; i < 50; i++ {
+		srv.met.request("optimize", "optimized", 10*time.Second)
+	}
+	got := shed()
+	if got != "30" {
+		t.Fatalf("loaded Retry-After = %q, want \"30\" (mean 10s x 3 jobs / 1 worker)", got)
+	}
+}

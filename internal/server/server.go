@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"assignmentmotion/internal/cachestore"
+	"assignmentmotion/internal/cluster"
 	"assignmentmotion/internal/engine"
 	"assignmentmotion/internal/fault"
 	"assignmentmotion/internal/ir"
@@ -83,6 +84,16 @@ type Config struct {
 	// replayed region-by-region instead of re-optimized, certified
 	// byte-identical to the cold run.
 	Incremental bool
+	// Cluster, when non-nil, joins this daemon to an amoptd cluster:
+	// jobs route to peers by graph-fingerprint consistent hashing with
+	// health checking, retries, and hedged forwarding, and engine cache
+	// misses consult the owning peer's store. See internal/cluster.
+	Cluster *cluster.Config
+	// NoLocalFallback refuses to compute jobs this node does not own when
+	// no peer is usable: such requests answer 503 peer-unavailable
+	// instead of silently degrading to single-node behavior. The zero
+	// value (fallback enabled) keeps a degraded cluster fully available.
+	NoLocalFallback bool
 }
 
 func (c *Config) fill() {
@@ -131,6 +142,9 @@ type Server struct {
 	met   *metrics
 	adm   *admission
 
+	node     *cluster.Node // nil outside cluster mode
+	stopNode sync.Once
+
 	drainMu  sync.Mutex
 	draining bool
 
@@ -150,11 +164,24 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	var node *cluster.Node
+	if cfg.Cluster != nil {
+		var err error
+		node, err = cluster.New(*cfg.Cluster)
+		if err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return nil, err
+		}
+		node.Start()
+	}
 	return &Server{
 		cfg:     cfg,
 		store:   store,
 		met:     newMetrics(store),
 		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		node:    node,
 		engines: map[engineConfig]*engine.Engine{},
 	}, nil
 }
@@ -175,9 +202,12 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
-// Close flushes the persistent store's index. Call after the HTTP server
-// has fully shut down.
+// Close stops the cluster health probers and flushes the persistent
+// store's index. Call after the HTTP server has fully shut down.
 func (s *Server) Close() error {
+	if s.node != nil {
+		s.stopNode.Do(s.node.Stop)
+	}
 	if s.store == nil {
 		return nil
 	}
@@ -224,7 +254,18 @@ func (s *Server) engineFor(cfg engineConfig) *engine.Engine {
 	if cfg.pipeline != "" {
 		opts.Passes = strings.Split(cfg.pipeline, ",")
 	}
-	if s.store != nil {
+	switch {
+	case s.node != nil:
+		// Cluster mode: cache misses consult the key's owning peer before
+		// computing. The local tier underneath is the persistent store, or
+		// a null store on memory-only nodes (which then still read the
+		// cluster's caches while persisting nothing).
+		var local cluster.Backend = nullStore{}
+		if s.store != nil {
+			local = s.store
+		}
+		opts.Backend = s.node.RemoteBackend(local)
+	case s.store != nil:
 		opts.Backend = s.store
 	}
 	e := engine.New(opts)
@@ -239,8 +280,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/optimize/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/passes", s.handlePasses)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
+	if s.node != nil {
+		mux.HandleFunc("GET "+cluster.CachePath, s.handleClusterCache)
+	}
 	return mux
 }
 
@@ -458,11 +503,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if served, out := s.maybeForwardOptimize(w, r, &req, g); served {
+		outcome = out
+		return
+	}
+
 	if err := s.adm.tryAcquire(r.Context()); err != nil {
 		if errors.Is(err, errOverloaded) {
 			outcome = "shed"
 			s.met.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errOverloaded.Error(), ErrorKind: "overloaded"})
 			return
 		}
@@ -570,7 +620,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.adm.overloaded() {
 		outcome = "shed"
 		s.met.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errOverloaded.Error(), ErrorKind: "overloaded"})
 		return
 	}
@@ -585,10 +635,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	results := make(chan OptimizeResponse)
 	var wg sync.WaitGroup
+	alreadyForwarded := r.Header.Get(cluster.ForwardedHeader) != ""
 	for i := range graphs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if !alreadyForwarded {
+				// Cluster mode: jobs owned by a healthy peer forward there
+				// (consuming that peer's worker budget, not ours) and their
+				// response lines drop into the same stream. A job whose peer
+				// dies mid-batch falls through to the local path below — the
+				// mid-batch redistribution that keeps one response flowing.
+				if resp, served := s.forwardBatchJob(ctx, &req, i, graphs[i]); served {
+					results <- resp
+					return
+				}
+			}
 			if err := s.adm.acquire(ctx); err != nil {
 				results <- respond(i, graphs[i].Name, engine.GraphResult{
 					Index: i, Outcome: engine.OutcomeFailed,
@@ -689,6 +751,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.queued.Store(s.adm.queued())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w)
+	if s.node != nil {
+		s.node.WriteMetrics(w)
+	}
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
