@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"assignmentmotion/internal/analysis"
+	"assignmentmotion/internal/bytecode"
 	"assignmentmotion/internal/cfggen"
 	"assignmentmotion/internal/core"
 	"assignmentmotion/internal/emcp"
@@ -40,6 +41,7 @@ import (
 	"assignmentmotion/internal/parse"
 	"assignmentmotion/internal/pass"
 	"assignmentmotion/internal/printer"
+	"assignmentmotion/internal/typeinference"
 	"assignmentmotion/internal/verify"
 
 	// Every pass package registers itself with internal/pass in its init;
@@ -406,4 +408,41 @@ func RandomUnstructured(seed int64, cfg GenConfig) *Graph {
 // RandomEnvs builds deterministic random environments over vars.
 func RandomEnvs(vars []Var, count int, seed int64) []map[Var]int64 {
 	return metrics.RandomEnvs(vars, count, seed)
+}
+
+// ParseFun parses the typed front-end dialect (functions, let
+// declarations, typed parameters) and lowers it — inlining every call —
+// to a flow graph. Scope rules are enforced; full type checking is
+// CompileFun's job.
+func ParseFun(src string) (*Graph, error) { return parse.ParseFun(src) }
+
+// TypeResult carries the inferred types, signatures, implicit inputs,
+// and diagnostics of one typed-front-end unit.
+type TypeResult = typeinference.Result
+
+// TypeDiagnostic is one typed front-end diagnostic (position, stable
+// code, severity, message).
+type TypeDiagnostic = typeinference.Diagnostic
+
+// CompileFun type-checks a typed front-end unit strictly and lowers it
+// to a flow graph. The TypeResult is returned even when checking fails,
+// so callers can render every diagnostic.
+func CompileFun(src string) (*Graph, *TypeResult, error) { return typeinference.Compile(src) }
+
+// InspectFun type-checks leniently: syntax errors still fail, but type
+// and scope errors are collected as diagnostics alongside the partial
+// results — the mode editors and linters want.
+func InspectFun(src string) (*TypeResult, error) { return typeinference.Inspect(src) }
+
+// CompiledProgram is a flow graph compiled to the flat register form
+// executed by RunCompiled; compile once, run many times.
+type CompiledProgram = bytecode.Program
+
+// CompileBytecode compiles a valid flow graph for repeated execution.
+func CompileBytecode(g *Graph) (*CompiledProgram, error) { return bytecode.Compile(g) }
+
+// RunCompiled executes g through the compiled executor: same trace,
+// counts, and flags as RunWith, several times faster on hot programs.
+func RunCompiled(g *Graph, env map[Var]int64, maxSteps int, opts ExecOptions) (ExecResult, error) {
+	return bytecode.Execute(g, env, maxSteps, opts)
 }

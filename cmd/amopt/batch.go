@@ -76,6 +76,7 @@ type batchConfig struct {
 	passSpec string
 	nested   bool
 	prog     bool
+	fun      bool
 	parallel int
 	timeout  time.Duration
 	verify   int
@@ -157,6 +158,8 @@ func runBatch(files []string, cfg batchConfig, out io.Writer) error {
 		}
 		var g *assignmentmotion.Graph
 		switch {
+		case cfg.fun:
+			g, _, err = assignmentmotion.CompileFun(string(data))
 		case cfg.prog:
 			g, err = assignmentmotion.ParseProgram(string(data))
 		case cfg.nested:

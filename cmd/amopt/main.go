@@ -16,8 +16,16 @@
 //	                             work, arena growth
 //	-dot                         emit Graphviz instead of .fg
 //	-metrics                     print static metrics before/after
-//	-run "a=1,b=2"               interpret with the given environment
-//	-steps N                     interpreter step budget
+//	-run "a=1,b=2"               execute source AND optimized program on
+//	                             the given environment via the compiled
+//	                             executor; prints the trace and the
+//	                             before/after cost counters
+//	-input k=v                   bind one input variable (repeatable;
+//	                             merged over -run bindings; implies
+//	                             execution)
+//	-trap-div-zero               division/remainder by zero aborts the
+//	                             execution (exit 5) instead of yielding 0
+//	-steps N                     execution step budget
 //	-verify N                    check semantics preservation on N
 //	                             random inputs and report dynamic costs
 //	-figure name                 load a built-in paper figure instead of
@@ -25,6 +33,10 @@
 //	-nested                      accept nested expressions (decomposed
 //	                             to 3-address form, §6)
 //	-prog                        input is the structured mini-language
+//	-fun                         input is the typed front-end (functions,
+//	                             let declarations, type inference); the
+//	                             program is type-checked strictly before
+//	                             lowering
 //	-random N [-size S]          use a random structured program
 //	-json                        machine-readable report
 //	-list                        list passes and built-in figures
@@ -51,10 +63,13 @@
 //	                             the remaining passes
 //
 // Exit codes: 0 success; 1 usage (bad flags, unknown pass, unreadable
-// input); 2 parse error; 3 optimization failed; 4 degraded (every result
-// is valid, but -on-error recovery absorbed at least one pass failure).
-// Failure beats degradation: a batch with both failed and degraded
-// graphs exits 3.
+// input); 2 parse error (including typed front-end type errors); 3
+// optimization failed; 4 degraded (every result is valid, but -on-error
+// recovery absorbed at least one pass failure); 5 execution trapped
+// (-trap-div-zero hit a division or remainder by zero); 6 trace
+// mismatch (the optimized program produced a different out-trace than
+// the source program — an optimizer bug, never expected). Failure beats
+// degradation: a batch with both failed and degraded graphs exits 3.
 //
 // Examples:
 //
@@ -97,6 +112,8 @@ const (
 	exitParse          = 2 // input failed to parse
 	exitOptimizeFailed = 3 // the pipeline (or ≥1 batch graph) failed
 	exitDegraded       = 4 // recovered: every result valid, some not fully optimized
+	exitTrapped        = 5 // -trap-div-zero: the execution divided by zero
+	exitMismatch       = 6 // source and optimized traces diverged (optimizer bug)
 )
 
 // exitError tags an error with the process exit code it should map to.
@@ -134,12 +151,16 @@ func run(args []string, out io.Writer) error {
 	traceFlag := fs.Bool("trace-passes", false, "print one line per executed pass (timings, deltas, solver work)")
 	dotFlag := fs.Bool("dot", false, "emit Graphviz dot")
 	metricsFlag := fs.Bool("metrics", false, "print static metrics before and after")
-	runFlag := fs.String("run", "", "interpret with environment, e.g. \"a=1,b=2\"")
-	stepsFlag := fs.Int("steps", 0, "interpreter step budget (0 = default)")
+	runFlag := fs.String("run", "", "execute source and optimized program with environment, e.g. \"a=1,b=2\"")
+	var inputFlags multiFlag
+	fs.Var(&inputFlags, "input", "bind one input variable name=value (repeatable; implies execution)")
+	trapFlag := fs.Bool("trap-div-zero", false, "division/remainder by zero aborts the execution (exit 5) instead of yielding 0")
+	stepsFlag := fs.Int("steps", 0, "execution step budget (0 = default)")
 	verifyFlag := fs.Int("verify", 0, "verify semantics on N random inputs")
 	figureFlag := fs.String("figure", "", "load a built-in paper figure")
 	nestedFlag := fs.Bool("nested", false, "accept nested expressions and decompose to 3-address form (§6)")
 	progFlag := fs.Bool("prog", false, "input is the structured mini-language (prog/if/while/do)")
+	funFlag := fs.Bool("fun", false, "input is the typed front-end (functions, let declarations, type inference)")
 	randomFlag := fs.Int64("random", -1, "use a random structured program with this seed instead of a file")
 	randomSize := fs.Int("size", 10, "size of the random program (with -random)")
 	jsonFlag := fs.Bool("json", false, "emit a JSON report (metrics, verification, run) instead of text annotations")
@@ -214,6 +235,7 @@ func run(args []string, out io.Writer) error {
 			passSpec: passSpec,
 			nested:   *nestedFlag,
 			prog:     *progFlag,
+			fun:      *funFlag,
 			parallel: *parallelFlag,
 			timeout:  *timeoutFlag,
 			verify:   *verifyFlag,
@@ -231,7 +253,7 @@ func run(args []string, out io.Writer) error {
 	if *randomFlag >= 0 {
 		g = assignmentmotion.RandomStructured(*randomFlag, assignmentmotion.GenConfig{Size: *randomSize})
 	} else {
-		g, err = load(fs, *figureFlag, *nestedFlag, *progFlag)
+		g, err = load(fs, *figureFlag, *nestedFlag, *progFlag, *funFlag)
 		if err != nil {
 			return err
 		}
@@ -296,19 +318,49 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, assignmentmotion.Format(g))
 	}
 
-	if *runFlag != "" {
+	var trapped, mismatch bool
+	if *runFlag != "" || len(inputFlags) > 0 {
 		env, err := parseEnv(*runFlag)
 		if err != nil {
 			return err
 		}
-		r := assignmentmotion.Run(g, env, *stepsFlag)
+		for _, kv := range inputFlags {
+			extra, err := parseEnv(kv)
+			if err != nil {
+				return fmt.Errorf("-input: %w", err)
+			}
+			for k, v := range extra {
+				env[k] = v
+			}
+		}
+		opts := assignmentmotion.ExecOptions{TrapOnDivZero: *trapFlag}
+		before, err := assignmentmotion.RunCompiled(orig, env, *stepsFlag, opts)
+		if err != nil {
+			return exitf(exitOptimizeFailed, "compile source program for execution: %v", err)
+		}
+		r, err := assignmentmotion.RunCompiled(g, env, *stepsFlag, opts)
+		if err != nil {
+			return exitf(exitOptimizeFailed, "compile optimized program for execution: %v", err)
+		}
+		trapped = before.Trapped || r.Trapped
+		mismatch = !trapped && !r.Truncated && !before.Truncated && !traceEqual(before.Trace, r.Trace)
 		report.Trace = r.Trace
 		report.Run = &r.Counts
+		report.RunBefore = &before.Counts
+		report.Trapped = trapped
+		report.TraceMatch = !mismatch
 		if !*jsonFlag {
 			fmt.Fprintf(out, "# trace: %v\n", r.Trace)
 			fmt.Fprintf(out, "# exprEvals=%d assignExecs=%d tempAssigns=%d steps=%d truncated=%v\n",
 				r.Counts.ExprEvals, r.Counts.AssignExecs, r.Counts.TempAssignExecs,
 				r.Counts.Steps, r.Truncated)
+			fmt.Fprintf(out, "# source: exprEvals=%d assignExecs=%d tempAssigns=%d steps=%d\n",
+				before.Counts.ExprEvals, before.Counts.AssignExecs, before.Counts.TempAssignExecs,
+				before.Counts.Steps)
+			fmt.Fprintf(out, "# delta: exprEvals=%+d assignExecs=%+d tempAssigns=%+d\n",
+				r.Counts.ExprEvals-before.Counts.ExprEvals,
+				r.Counts.AssignExecs-before.Counts.AssignExecs,
+				r.Counts.TempAssignExecs-before.Counts.TempAssignExecs)
 		}
 	}
 	if *jsonFlag {
@@ -320,11 +372,36 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if trapped {
+		return exitf(exitTrapped, "execution trapped on division or remainder by zero")
+	}
+	if mismatch {
+		return exitf(exitMismatch, "optimized program's trace differs from the source program's (optimizer bug)")
+	}
 	if prep.Degraded() {
 		return exitf(exitDegraded, "pipeline degraded: %d pass failure(s) absorbed by -on-error=%s",
 			len(prep.Failures), recovery)
 	}
 	return nil
+}
+
+// multiFlag collects a repeatable string flag (-input k=v -input m=n).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// traceEqual compares two out-traces element-wise.
+func traceEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // parsePasses splits a -pass / -passes spec into pass names, skipping
@@ -390,10 +467,13 @@ type jsonReport struct {
 	AssignExecsAfter  int                          `json:"assignExecsAfter,omitempty"`
 	Trace             []int64                      `json:"trace,omitempty"`
 	Run               *assignmentmotion.ExecCounts `json:"run,omitempty"`
+	RunBefore         *assignmentmotion.ExecCounts `json:"runBefore,omitempty"`
+	Trapped           bool                         `json:"trapped,omitempty"`
+	TraceMatch        bool                         `json:"traceMatch,omitempty"`
 	Program           string                       `json:"program"`
 }
 
-func load(fs *flag.FlagSet, figure string, nested, prog bool) (*assignmentmotion.Graph, error) {
+func load(fs *flag.FlagSet, figure string, nested, prog, fun bool) (*assignmentmotion.Graph, error) {
 	if figure != "" {
 		for _, f := range figures.Names() {
 			if f == figure {
@@ -423,6 +503,8 @@ func load(fs *flag.FlagSet, figure string, nested, prog bool) (*assignmentmotion
 	var g *assignmentmotion.Graph
 	var err error
 	switch {
+	case fun:
+		g, _, err = assignmentmotion.CompileFun(src)
 	case prog:
 		g, err = assignmentmotion.ParseProgram(src)
 	case nested:

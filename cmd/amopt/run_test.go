@@ -1,0 +1,150 @@
+package main
+
+// Tests of the execution flags: -input bindings, -trap-div-zero with its
+// dedicated exit code, the before/after delta lines, and the typed
+// front-end (-fun) path.
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInputFlags(t *testing.T) {
+	path := writeTemp(t, "p.fg", `
+graph p {
+  entry a
+  exit e
+  block a { x := u + v y := u + v goto e }
+  block e { out(x, y) }
+}
+`)
+	out, err := runCLI(t, "-input", "u=2", "-input", "v=3", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# trace: [5 5]", "# source: exprEvals=2", "# delta: exprEvals=-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunInputOverridesRunBinding(t *testing.T) {
+	path := writeTemp(t, "p.fg", `
+graph p {
+  entry a
+  exit e
+  block a { x := u + u goto e }
+  block e { out(x) }
+}
+`)
+	out, err := runCLI(t, "-run", "u=1", "-input", "u=9", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# trace: [18]") {
+		t.Errorf("-input did not override -run:\n%s", out)
+	}
+}
+
+func TestRunTrapDivZeroExitCode(t *testing.T) {
+	path := writeTemp(t, "p.fg", `
+graph p {
+  entry a
+  exit e
+  block a { q := u / v goto e }
+  block e { out(q) }
+}
+`)
+	// Untrapped: division by zero yields 0.
+	out, err := runCLI(t, "-input", "u=7", "-input", "v=0", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# trace: [0]") {
+		t.Errorf("untrapped trace:\n%s", out)
+	}
+	// Trapped: exit code 5.
+	_, err = runCLI(t, "-trap-div-zero", "-input", "u=7", "-input", "v=0", path)
+	if err == nil {
+		t.Fatal("expected the trapped execution to fail")
+	}
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != exitTrapped {
+		t.Fatalf("err = %v, want exit code %d", err, exitTrapped)
+	}
+}
+
+func TestRunFunDialect(t *testing.T) {
+	path := writeTemp(t, "p.fun", `
+fn square(x: int): int { return x * x }
+prog p {
+	let a = square(n)
+	let b = square(n)
+	out(a + b)
+}
+`)
+	out, err := runCLI(t, "-fun", "-input", "n=4", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# trace: [32]") {
+		t.Errorf("trace:\n%s", out)
+	}
+	if !strings.Contains(out, "# delta:") {
+		t.Errorf("missing delta line:\n%s", out)
+	}
+}
+
+func TestRunFunTypeErrorIsParseExit(t *testing.T) {
+	path := writeTemp(t, "bad.fun", `prog p { let a = true + 1 }`)
+	_, err := runCLI(t, "-fun", path)
+	if err == nil {
+		t.Fatal("expected a type error")
+	}
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != exitParse {
+		t.Fatalf("err = %v, want exit code %d", err, exitParse)
+	}
+}
+
+func TestRunJSONCarriesBeforeCounts(t *testing.T) {
+	path := writeTemp(t, "p.fg", `
+graph p {
+  entry a
+  exit e
+  block a { x := u + v y := u + v goto e }
+  block e { out(x, y) }
+}
+`)
+	out, err := runCLI(t, "-json", "-input", "u=2", "-input", "v=3", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Run == nil || rep.RunBefore == nil {
+		t.Fatalf("missing run counts: %+v", rep)
+	}
+	if !rep.TraceMatch {
+		t.Error("traceMatch = false")
+	}
+	if rep.Run.ExprEvals >= rep.RunBefore.ExprEvals {
+		t.Errorf("exprEvals %d -> %d, want an improvement", rep.RunBefore.ExprEvals, rep.Run.ExprEvals)
+	}
+}

@@ -23,6 +23,8 @@
 //	-max-deadline D              hard cap on requested deadlines
 //	-max-body N                  request body limit in bytes (0 = 8 MiB)
 //	-max-batch N                 programs per batch request (0 = 1024)
+//	-max-run-steps N             hard cap on the per-execution step
+//	                             budget of POST /v1/run (0 = 1,000,000)
 //	-drain-timeout D             how long SIGTERM waits for in-flight
 //	                             requests before forcing exit
 //	-incremental                 region-granular incremental
@@ -47,7 +49,8 @@
 //	                             peer is usable
 //
 // Endpoints: POST /v1/optimize, POST /v1/optimize/batch (NDJSON stream),
-// GET /v1/passes, GET /healthz (liveness), GET /readyz (readiness: drain
+// POST /v1/run (optimize + execute source and optimized graphs on caller
+// inputs), GET /v1/passes, GET /healthz (liveness), GET /readyz (readiness: drain
 // state and ring membership), GET /metrics (Prometheus text format).
 // See internal/server for the request/response schema, DESIGN.md §10 for
 // the architecture, and DESIGN.md §13 for cluster failure semantics.
@@ -97,6 +100,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxDeadline   = fs.Duration("max-deadline", 60*time.Second, "hard cap on requested deadlines")
 		maxBody       = fs.Int64("max-body", 0, "request body limit in bytes (0 = 8 MiB)")
 		maxBatch      = fs.Int("max-batch", 0, "programs per batch request (0 = 1024)")
+		maxRunSteps   = fs.Int("max-run-steps", 0, "per-execution step budget cap for /v1/run (0 = 1,000,000)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain window for in-flight requests")
 		incremental   = fs.Bool("incremental", true, "region-granular incremental re-optimization of edited programs")
 
@@ -154,6 +158,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		MaxDeadline:     *maxDeadline,
 		MaxBodyBytes:    *maxBody,
 		MaxBatch:        *maxBatch,
+		MaxRunSteps:     *maxRunSteps,
 		Incremental:     *incremental,
 		Cluster:         clusterCfg,
 		NoLocalFallback: *noLocalFallback,

@@ -37,7 +37,9 @@ const (
 	tokLParen
 	tokRParen
 	tokComma
-	tokOp // arithmetic or relational operator symbol
+	tokColon // ':' alone — type annotations of the typed dialect
+	tokEq    // '=' alone — "let" initializers of the typed dialect
+	tokOp    // arithmetic or relational operator symbol
 )
 
 type token struct {
@@ -185,7 +187,7 @@ func (l *lexer) next() (token, error) {
 			l.advance()
 			return token{kind: tokAssign, text: ":=", line: line, col: col}, nil
 		}
-		return token{}, l.errorf(line, col, "expected := after :")
+		return token{kind: tokColon, text: ":", line: line, col: col}, nil
 	case '+', '-', '*', '/', '%':
 		return token{kind: tokOp, text: string(c), line: line, col: col}, nil
 	case '<':
@@ -193,7 +195,11 @@ func (l *lexer) next() (token, error) {
 	case '>':
 		return two('=', ">=", ">")
 	case '=':
-		return two('=', "==", "")
+		if n, ok := l.peekByte(); ok && n == '=' {
+			l.advance()
+			return token{kind: tokOp, text: "==", line: line, col: col}, nil
+		}
+		return token{kind: tokEq, text: "=", line: line, col: col}, nil
 	case '!':
 		return two('=', "!=", "")
 	}
@@ -224,6 +230,9 @@ var keywords = map[string]bool{
 	"if": true, "then": true, "else": true,
 	"prog": true, "while": true, "do": true,
 	"break": true, "continue": true,
+	// typed dialect
+	"fn": true, "let": true, "return": true,
+	"true": true, "false": true, "int": true, "bool": true,
 }
 
 func isKeyword(s string) bool { return keywords[strings.ToLower(s)] }

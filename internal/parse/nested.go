@@ -74,6 +74,12 @@ func freshPrefix(toks []token) string {
 			used[t.text] = true
 		}
 	}
+	return freshPrefixFrom(used)
+}
+
+// freshPrefixFrom is freshPrefix over a pre-collected identifier set; the
+// typed dialect's lowering works from the syntax tree, not the tokens.
+func freshPrefixFrom(used map[string]bool) string {
 	for _, prefix := range []string{"t", "u", "w", "tmp", "dtmp"} {
 		ok := true
 		for id := range used {

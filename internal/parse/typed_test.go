@@ -1,0 +1,270 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+)
+
+func runFun(t *testing.T, src string, init map[ir.Var]int64) interp.Result {
+	t.Helper()
+	g, err := ParseFun(src)
+	if err != nil {
+		t.Fatalf("ParseFun: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("lowered graph invalid: %v", err)
+	}
+	return interp.Run(g, init, interp.DefaultMaxSteps)
+}
+
+func wantTrace(t *testing.T, got interp.Result, want ...int64) {
+	t.Helper()
+	if got.Truncated || got.Trapped {
+		t.Fatalf("run truncated=%v trapped=%v", got.Truncated, got.Trapped)
+	}
+	if len(got.Trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", got.Trace, want)
+	}
+	for i := range want {
+		if got.Trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got.Trace, want)
+		}
+	}
+}
+
+func TestFunSimpleCall(t *testing.T) {
+	res := runFun(t, `
+		fn square(x: int): int {
+			return x * x
+		}
+		prog p {
+			let a = square(3)
+			let b = square(4)
+			out(a + b)
+		}
+	`, nil)
+	wantTrace(t, res, 25)
+}
+
+func TestFunRepeatedCallSharesInstances(t *testing.T) {
+	g, err := ParseFun(`
+		fn square(x: int): int {
+			return x * x
+		}
+		prog p {
+			let a = square(n)
+			let b = square(n)
+			out(a, b)
+		}
+	`)
+	if err != nil {
+		t.Fatalf("ParseFun: %v", err)
+	}
+	// Both inlines must use the same parameter instance, so the motion
+	// passes see the repeated pattern square_x := n / a := square_x * square_x.
+	found := 0
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == ir.KindAssign && in.LHS == "square_x" {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("want 2 assignments to shared instance square_x, found %d\n%s", found, g.Encode())
+	}
+	res := interp.Run(g, map[ir.Var]int64{"n": 7}, interp.DefaultMaxSteps)
+	wantTrace(t, res, 49, 49)
+}
+
+func TestFunInference(t *testing.T) {
+	// Annotations optional on let; typed and untyped mix freely.
+	res := runFun(t, `
+		fn max2(a: int, b: int) {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		prog p {
+			let x: int = 3
+			let y = max2(x, 10)
+			out(y)
+		}
+	`, nil)
+	wantTrace(t, res, 10)
+}
+
+func TestFunBoolValues(t *testing.T) {
+	res := runFun(t, `
+		fn positive(x: int): bool {
+			return x > 0
+		}
+		prog p {
+			let flag: bool = positive(n)
+			let other = n < 100
+			if flag {
+				out(1, other)
+			} else {
+				out(0, other)
+			}
+		}
+	`, map[ir.Var]int64{"n": 42})
+	wantTrace(t, res, 1, 1)
+}
+
+func TestFunControlFlow(t *testing.T) {
+	res := runFun(t, `
+		fn inc(x: int): int {
+			return x + 1
+		}
+		prog p {
+			let s = 0
+			let i = 0
+			while i < 10 {
+				i := inc(i)
+				if i == 3 {
+					continue
+				}
+				if i > 7 {
+					break
+				}
+				s := s + i
+			}
+			do {
+				s := s - 1
+			} while s > 25
+			out(s, i)
+		}
+	`, nil)
+	// i runs 1..8; skips 3; breaks at 8: s = 1+2+4+5+6+7 = 25; do-while
+	// executes once: 24.
+	wantTrace(t, res, 24, 8)
+}
+
+func TestFunNestedCallsAndExpressions(t *testing.T) {
+	res := runFun(t, `
+		fn add(a: int, b: int): int {
+			return a + b
+		}
+		fn twice(x: int): int {
+			return add(x, x)
+		}
+		prog p {
+			out(twice(add(2, 3)) * 2 - 1)
+		}
+	`, nil)
+	wantTrace(t, res, 19)
+}
+
+func TestFunUnaryMinus(t *testing.T) {
+	res := runFun(t, `
+		prog p {
+			let a = -5
+			let b = -(a + 2)
+			out(a, b, -b)
+		}
+	`, nil)
+	wantTrace(t, res, -5, 3, -3)
+}
+
+func TestFunWhileCallCondition(t *testing.T) {
+	res := runFun(t, `
+		fn under(x: int, lim: int): bool {
+			return x < lim
+		}
+		prog p {
+			let i = 0
+			while under(i, 4) {
+				i := i + 1
+			}
+			out(i)
+		}
+	`, nil)
+	wantTrace(t, res, 4)
+}
+
+func TestFunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"recursion", `fn f(x: int): int { return f(x) } prog p { out(f(1)) }`, "recursive"},
+		{"undefined fn", `prog p { out(f(1)) }`, "undefined function"},
+		{"arity", `fn f(x: int): int { return x } prog p { out(f(1, 2)) }`, "argument"},
+		{"fn scope", `fn f(x: int): int { return x + y } prog p { out(f(1)) }`, "not a parameter or local"},
+		{"missing return", `fn f(x: int): int { let y = x } prog p { out(f(1)) }`, "does not return on every path"},
+		{"partial return", `fn f(x: int): int { if x > 0 { return x } } prog p { out(f(1)) }`, "does not return on every path"},
+		{"break outside loop", `prog p { break }`, "outside a loop"},
+		{"break in fn body", `fn f(x: int): int { break } prog p { out(f(1)) }`, "outside a loop"},
+		{"return in prog", `prog p { return 1 }`, "return outside a function"},
+		{"duplicate fn", `fn f(x: int): int { return x } fn f(x: int): int { return x } prog p { out(f(1)) }`, "duplicate function"},
+		{"keyword var", `prog p { let if = 1 }`, "keyword"},
+		{"missing prog", `fn f(x: int): int { return x }`, `expected "prog"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFun(tc.src)
+			if err == nil {
+				t.Fatalf("ParseFun succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFunUnreachableAfterBreakDropped(t *testing.T) {
+	// Statements after break/continue are unreachable; lowering drops them
+	// (typeinference reports them as diagnostics).
+	res := runFun(t, `
+		prog p {
+			let i = 0
+			while true {
+				i := 1
+				break
+				i := 99
+			}
+			out(i)
+		}
+	`, nil)
+	wantTrace(t, res, 1)
+}
+
+func TestFunDoWhileAlwaysBreaks(t *testing.T) {
+	res := runFun(t, `
+		prog p {
+			let i = 0
+			do {
+				i := i + 1
+				break
+			} while i < 10
+			out(i)
+		}
+	`, nil)
+	wantTrace(t, res, 1)
+}
+
+func TestFunElseIfChain(t *testing.T) {
+	for n, want := range map[int64]int64{1: 10, 2: 20, 3: 30} {
+		res := runFun(t, `
+			prog p {
+				let r = 0
+				if n == 1 {
+					r := 10
+				} else if n == 2 {
+					r := 20
+				} else {
+					r := 30
+				}
+				out(r)
+			}
+		`, map[ir.Var]int64{"n": n})
+		wantTrace(t, res, want)
+	}
+}

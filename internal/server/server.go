@@ -11,6 +11,10 @@
 //	                         out in completion order, fanned out through
 //	                         internal/engine under the shared worker
 //	                         budget
+//	POST /v1/run             optimize one program AND execute both the
+//	                         source and the optimized graph on caller
+//	                         inputs via the compiled executor, answering
+//	                         the out-trace plus before/after cost deltas
 //	GET  /v1/passes          pass registry introspection
 //	GET  /healthz            liveness + drain state
 //	GET  /metrics            Prometheus text format
@@ -43,6 +47,7 @@ import (
 	"assignmentmotion/internal/parse"
 	"assignmentmotion/internal/pass"
 	"assignmentmotion/internal/printer"
+	"assignmentmotion/internal/typeinference"
 )
 
 // Config tunes one Server.
@@ -70,6 +75,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxBatch bounds programs per batch request (0 = 1024).
 	MaxBatch int
+	// MaxRunSteps caps the per-execution step budget of POST /v1/run;
+	// requests asking for more are clamped. <= 0 selects 1,000,000.
+	MaxRunSteps int
 	// Inject is the test-only fault-injection seam, threaded through to
 	// engine.Options.Inject. Production callers leave it nil.
 	Inject func(index int, p pass.Pass) pass.Pass
@@ -278,6 +286,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/optimize/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/passes", s.handlePasses)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -314,7 +323,8 @@ type OptimizeRequest struct {
 	// Program is the source text, in the dialect below.
 	Program string `json:"program"`
 	// Dialect selects the parser: "fg" (default), "nested" (§6 nested
-	// expressions), or "prog" (the structured mini-language).
+	// expressions), "prog" (the structured mini-language), or "fun" (the
+	// typed front-end with functions).
 	Dialect string `json:"dialect,omitempty"`
 	// Passes names the pipeline; empty (or ["globalg"]) selects the full
 	// global algorithm.
@@ -381,8 +391,10 @@ func parseProgram(dialect, name, src string) (*ir.Graph, error) {
 		g, err = parse.ParseNested(src)
 	case "prog":
 		g, err = parse.ParseProgram(src)
+	case "fun":
+		g, _, err = typeinference.Compile(src)
 	default:
-		return nil, fmt.Errorf("unknown dialect %q (want fg, nested, or prog)", dialect)
+		return nil, fmt.Errorf("unknown dialect %q (want fg, nested, prog, or fun)", dialect)
 	}
 	if err != nil {
 		return nil, err
@@ -762,6 +774,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 POST /v1/optimize        {"program": "graph g { ... }", "passes": [...], "onError": "fail|rollback|skip", "budget": {...}, "deadlineMs": N}
 POST /v1/optimize/batch  {"programs": [{"name": ..., "program": ...}, ...]} -> NDJSON stream
+POST /v1/run             {"program": ..., "dialect": "fg|nested|prog|fun", "inputs": {"x": 1}, "maxSteps": N, "trapDivZero": bool} -> trace + before/after cost counters
 GET  /v1/passes          pass registry
 GET  /healthz            liveness
 GET  /metrics            Prometheus text format

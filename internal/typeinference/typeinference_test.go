@@ -1,0 +1,241 @@
+package typeinference
+
+import (
+	"testing"
+
+	"assignmentmotion/internal/interp"
+	"assignmentmotion/internal/ir"
+)
+
+func TestCompileInfersTypes(t *testing.T) {
+	g, res, err := Compile(`
+		fn scale(x: int, k: int) {
+			return x * k
+		}
+		fn hot(x: int): bool {
+			return x > 100
+		}
+		prog p {
+			let a = scale(n, 3)
+			let warm = hot(a)
+			out(a, warm)
+		}
+	`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if g == nil {
+		t.Fatal("Compile returned nil graph")
+	}
+	if got := res.Funcs["scale"].Result; got != Int {
+		t.Errorf("scale result = %v, want int", got)
+	}
+	if got := res.Funcs["hot"].Result; got != Bool {
+		t.Errorf("hot result = %v, want bool", got)
+	}
+	if got := res.ProgVars["a"]; got != Int {
+		t.Errorf("a = %v, want int", got)
+	}
+	if got := res.ProgVars["warm"]; got != Bool {
+		t.Errorf("warm = %v, want bool", got)
+	}
+	if len(res.Inputs) != 1 || res.Inputs[0] != "n" {
+		t.Errorf("Inputs = %v, want [n]", res.Inputs)
+	}
+	if len(res.Diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", res.Diags)
+	}
+	r := interp.Run(g, map[ir.Var]int64{"n": 50}, interp.DefaultMaxSteps)
+	if len(r.Trace) != 2 || r.Trace[0] != 150 || r.Trace[1] != 1 {
+		t.Errorf("trace = %v, want [150 1]", r.Trace)
+	}
+}
+
+func TestCompileStrictFails(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		code string
+	}{
+		{"bool arith", `prog p { let a = true + 1 }`, CodeTypeMismatch},
+		{"int cond", `prog p { let a = 1 if a { out(a) } }`, CodeCondNotBool},
+		{"bool to int", `prog p { let a: int = true }`, CodeTypeMismatch},
+		{"assign flips type", `prog p { let a = 1 a := true }`, CodeTypeMismatch},
+		{"undeclared in fn", `fn f(x: int): int { return y } prog p { out(f(1)) }`, CodeUndeclaredVar},
+		{"redeclared", `prog p { let a = 1 let a = 2 }`, CodeRedeclaredVar},
+		{"use before let", `prog p { out(a) let a = 2 }`, CodeUseBeforeLet},
+		{"arg type", `fn f(b: bool): int { return 1 } prog p { out(f(3)) }`, CodeTypeMismatch},
+		{"arity", `fn f(x: int): int { return x } prog p { out(f()) }`, CodeArity},
+		{"undefined fn", `prog p { out(g(1)) }`, CodeUndefinedFunc},
+		{"recursion", `fn f(x: int): int { return f(x) } prog p { out(f(1)) }`, CodeRecursion},
+		{"mutual recursion", `
+			fn f(x: int): int { return g(x) }
+			fn g(x: int): int { return f(x) }
+			prog p { out(f(1)) }`, CodeRecursion},
+		{"missing return", `fn f(x: int): int { let y = x } prog p { out(f(1)) }`, CodeMissingReturn},
+		{"mixed returns", `
+			fn f(x: int) {
+				if x > 0 { return true }
+				return 1
+			}
+			prog p { out(f(1)) }`, CodeTypeMismatch},
+		{"result annotation", `fn f(x: int): bool { return x + 1 } prog p { out(f(1)) }`, CodeTypeMismatch},
+		{"break outside loop", `prog p { break }`, CodeLoopContext},
+		{"return in prog", `prog p { return 1 }`, CodeReturnContext},
+		{"reserved temp", `prog p { let h1 = 1 }`, CodeReservedName},
+		{"duplicate fn", `fn f(x: int): int { return x } fn f(y: int): int { return y } prog p { out(f(1)) }`, CodeDuplicateFunc},
+		{"duplicate param", `fn f(x: int, x: int): int { return x } prog p { out(f(1, 2)) }`, CodeDuplicateParam},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, res, err := Compile(tc.src)
+			if err == nil {
+				t.Fatalf("Compile succeeded, want %s error", tc.code)
+			}
+			if g != nil {
+				t.Error("Compile returned a graph alongside the error")
+			}
+			if res == nil {
+				t.Fatal("Compile returned nil result")
+			}
+			found := false
+			for _, d := range res.Diags {
+				if d.Code == tc.code {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no %s diagnostic; got %v (err %v)", tc.code, res.Diags, err)
+			}
+		})
+	}
+}
+
+func TestInspectToleratesErrors(t *testing.T) {
+	// Several independent problems; inspect mode must report all of them
+	// and still type what it can.
+	res, err := Inspect(`
+		fn f(x: int): int {
+			return x + missing
+		}
+		prog p {
+			let a = 1
+			let b = g(a)
+			let a = true + 2
+			out(a, b)
+		}
+	`)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	codes := map[string]int{}
+	for _, d := range res.Diags {
+		codes[d.Code]++
+	}
+	for _, want := range []string{CodeUndeclaredVar, CodeUndefinedFunc, CodeRedeclaredVar, CodeTypeMismatch} {
+		if codes[want] == 0 {
+			t.Errorf("missing %s diagnostic; got %v", want, res.Diags)
+		}
+	}
+	// Partial results survive the errors.
+	if got := res.ProgVars["a"]; got != Int {
+		t.Errorf("a = %v, want int (partial result)", got)
+	}
+	if got := res.Funcs["f"].Params; len(got) != 1 || got[0] != Int {
+		t.Errorf("f params = %v, want [int]", got)
+	}
+	for _, d := range res.Diags {
+		if d.Pos.Line == 0 {
+			t.Errorf("diagnostic %v lacks a position", d)
+		}
+		if d.Severity != SeverityError && d.Severity != SeverityWarning {
+			t.Errorf("diagnostic %v has invalid severity", d)
+		}
+	}
+}
+
+func TestInspectSyntaxErrorStillFails(t *testing.T) {
+	if _, err := Inspect(`prog p { let = 1 }`); err == nil {
+		t.Fatal("Inspect accepted a syntax error")
+	}
+}
+
+func TestUnreachableIsWarning(t *testing.T) {
+	g, res, err := Compile(`
+		prog p {
+			let i = 0
+			while i < 3 {
+				i := i + 1
+				continue
+				i := 99
+			}
+			out(i)
+		}
+	`)
+	if err != nil {
+		t.Fatalf("Compile: %v (unreachable code must be a warning, not an error)", err)
+	}
+	warned := false
+	for _, d := range res.Diags {
+		if d.Code == CodeUnreachable && d.Severity == SeverityWarning {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("no unreachable-code warning; diags %v", res.Diags)
+	}
+	r := interp.Run(g, nil, interp.DefaultMaxSteps)
+	if len(r.Trace) != 1 || r.Trace[0] != 3 {
+		t.Errorf("trace = %v, want [3]", r.Trace)
+	}
+}
+
+func TestInferenceThroughCallChain(t *testing.T) {
+	// f's result is inferred, g calls f before f is declared in source
+	// order; the call-graph ordering must still type g correctly.
+	_, res, err := Compile(`
+		fn g(x: int) {
+			return f(x) > 0
+		}
+		fn f(x: int) {
+			return x * x
+		}
+		prog p {
+			out(g(3))
+		}
+	`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := res.Funcs["f"].Result; got != Int {
+		t.Errorf("f result = %v, want int", got)
+	}
+	if got := res.Funcs["g"].Result; got != Bool {
+		t.Errorf("g result = %v, want bool", got)
+	}
+}
+
+func TestErrsFilter(t *testing.T) {
+	res, err := Inspect(`
+		prog p {
+			let i = 0
+			while i < 2 { i := i + 1 break skip }
+			out(missingfn(i))
+		}
+	`)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	errs := res.Errs()
+	if len(errs) == 0 {
+		t.Fatal("Errs() empty; want the undefined-func error")
+	}
+	for _, d := range errs {
+		if d.Severity != SeverityError {
+			t.Errorf("Errs() returned %v", d)
+		}
+	}
+	if len(errs) == len(res.Diags) {
+		t.Errorf("expected at least one warning to be filtered out; diags %v", res.Diags)
+	}
+}
